@@ -1,0 +1,262 @@
+// Package across is the public API of the Across-FTL reproduction: a
+// trace-driven flash SSD simulator with three flash-translation-layer
+// schemes — the conventional page-level FTL, the MRSM sub-page comparator,
+// and Across-FTL, which re-aligns across-page requests (requests no larger
+// than one flash page that span two logical pages) onto single physical
+// pages via a two-level mapping table.
+//
+// The typical flow is:
+//
+//	cfg := across.ExperimentConfig()                   // Table 1, scaled
+//	prof, _ := across.Profile("lun1")                  // Table 2 workload
+//	reqs, _ := across.GenerateTrace(prof.Scale(0.05), cfg.LogicalSectors())
+//	res, _ := across.Run(across.AcrossFTL, cfg, reqs, true)
+//	fmt.Println(res.AvgWriteLatency(), res.Counters.Erases)
+//
+// The experiment harness that regenerates every table and figure of the
+// paper is exposed through RunExperiment / RunAllExperiments.
+package across
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"across/internal/acrossftl"
+	"across/internal/experiments"
+	"across/internal/ftl"
+	"across/internal/hostcache"
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// Config describes the simulated SSD: geometry (channel → chip → die →
+// plane → block → page), NAND timing, and FTL parameters. See the ssdconf
+// field documentation for the full list.
+type Config = ssdconf.Config
+
+// Request is one block-level I/O in 512 B sectors.
+type Request = trace.Request
+
+// WorkloadProfile parameterises a synthetic enterprise-VDI trace
+// (request count, write ratio, mean write size, across-page ratio, locality,
+// arrival rate).
+type WorkloadProfile = workload.Profile
+
+// Result carries everything a replay measures: per-direction latencies,
+// flash operation counters split Map/Data/GC, erase counts, per-alignment-
+// class buckets, table sizes and the Across-FTL operation census.
+type Result = sim.Result
+
+// Scheme selects the FTL design to simulate.
+type Scheme = sim.SchemeKind
+
+// The three compared schemes.
+const (
+	// BaselineFTL is the conventional dynamic page-level mapping FTL.
+	BaselineFTL = sim.KindFTL
+	// MRSM is the sub-page multiregional space management comparator.
+	MRSM = sim.KindMRSM
+	// AcrossFTL is the paper's contribution.
+	AcrossFTL = sim.KindAcross
+	// DFTL is a demand-paged page-mapping baseline (extension scheme,
+	// outside the paper's comparison).
+	DFTL = sim.KindDFTL
+)
+
+// Schemes returns the comparison order used throughout the paper.
+func Schemes() []Scheme { return sim.Kinds() }
+
+// Table1Config returns the paper's full-scale Table 1 device (128 GiB raw).
+func Table1Config() Config { return ssdconf.Table1() }
+
+// ExperimentConfig returns the shape-preserving scaled device (2 GiB raw)
+// the experiment harness defaults to.
+func ExperimentConfig() Config { return ssdconf.Experiment() }
+
+// ScaledConfig returns Table 1 with the block count divided by factor.
+func ScaledConfig(factor int) Config { return ssdconf.Scaled(factor) }
+
+// Profiles returns the six Table 2 trace profiles (lun1–lun6).
+func Profiles() []WorkloadProfile { return workload.LunProfiles() }
+
+// Profile returns one Table 2 profile by name ("lun1".."lun6").
+func Profile(name string) (WorkloadProfile, error) { return workload.LunProfile(name) }
+
+// Collection returns n Fig 2-style profiles with spread across-page ratios.
+func Collection(n int) []WorkloadProfile { return workload.Collection(n) }
+
+// GenerateTrace synthesises the request stream of a profile for a device
+// with the given number of logical sectors.
+func GenerateTrace(p WorkloadProfile, logicalSectors int64) ([]Request, error) {
+	return workload.Generate(p, logicalSectors)
+}
+
+// ReadTrace parses a SYSTOR '17-format CSV block trace
+// (timestamp,response,io_type,lun,offset,size).
+func ReadTrace(r io.Reader) ([]Request, error) { return trace.ReadAll(r) }
+
+// ReadMSRTrace parses an MSR Cambridge-format CSV block trace
+// (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime).
+func ReadMSRTrace(r io.Reader) ([]Request, error) { return trace.ReadAllMSR(r) }
+
+// ReadTraceAuto sniffs the format from the first non-empty line (SYSTOR '17
+// or MSR Cambridge) and parses accordingly.
+func ReadTraceAuto(r io.Reader) ([]Request, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	first := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && line[0] != '#' {
+			first = line
+			break
+		}
+	}
+	format, err := trace.DetectFormat(first)
+	if err != nil {
+		return nil, err
+	}
+	if format == "msr" {
+		return trace.ReadAllMSR(bytes.NewReader(data))
+	}
+	return trace.ReadAll(bytes.NewReader(data))
+}
+
+// WriteTrace emits requests in the SYSTOR '17 CSV format.
+func WriteTrace(w io.Writer, lun int, reqs []Request) error {
+	tw := trace.NewWriter(w, lun)
+	for _, r := range reqs {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// TraceStats computes Table 2-style statistics (write ratio, mean write
+// size, across-page ratio) for a trace at a page size of pageBytes.
+func TraceStats(reqs []Request, pageBytes int) *trace.Stats {
+	return trace.Measure(reqs, pageBytes/ssdconf.SectorBytes)
+}
+
+// ShiftTrace adds delta sectors to every request's offset — used to place
+// several traces in disjoint regions of one address space.
+func ShiftTrace(reqs []Request, delta int64) []Request {
+	return trace.ShiftOffsets(reqs, delta)
+}
+
+// InterleaveTraces merges traces by arrival time into one stream (the
+// multi-tenant view of several LUNs sharing one device).
+func InterleaveTraces(traces ...[]Request) []Request {
+	return trace.Interleave(traces...)
+}
+
+// ConcatTraces joins traces back to back in time, separated by gap ms.
+func ConcatTraces(gap float64, traces ...[]Request) []Request {
+	return trace.Concat(gap, traces...)
+}
+
+// WindowTrace returns the requests with arrival time in [from, to) ms,
+// rebased to start at zero.
+func WindowTrace(reqs []Request, from, to float64) []Request {
+	return trace.Window(reqs, from, to)
+}
+
+// Run replays a trace against a freshly built scheme; when age is true the
+// device is first warmed to the paper's §4.1 state (90% used, ~40% valid).
+func Run(s Scheme, cfg Config, reqs []Request, age bool) (*Result, error) {
+	return sim.Run(s, cfg, reqs, age)
+}
+
+// RunWithHostCache replays a trace like Run, with the scheme wrapped in a
+// DRAM data buffer of cachePages logical pages (the Table 1 "cache size"
+// knob). Writes are write-through, so flush counts and erase counts are
+// unaffected; repeated reads of resident pages are served at DRAM speed.
+func RunWithHostCache(s Scheme, cfg Config, cachePages int, reqs []Request, age bool) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := sim.NewScheme(s, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &sim.Runner{Conf: &cfg, Kind: s, Scheme: hostcache.Wrap(inner, cachePages)}
+	if age {
+		if err := r.Age(sim.DefaultAging()); err != nil {
+			return nil, err
+		}
+	}
+	return r.Replay(reqs)
+}
+
+// RecoverFromCrash simulates power loss on a runner's device and remounts
+// it: all in-DRAM mapping state is discarded and rebuilt from the flash
+// array's out-of-band metadata (open blocks are sealed first, as real
+// controllers do). Supported for AcrossFTL and BaselineFTL. The returned
+// runner owns the same physical device; the old runner must not be used.
+func RecoverFromCrash(r *Runner) (*Runner, error) {
+	dev := r.Scheme.Device()
+	switch r.Kind {
+	case AcrossFTL:
+		s, err := acrossftl.Recover(dev)
+		if err != nil {
+			return nil, err
+		}
+		return &sim.Runner{Conf: r.Conf, Kind: r.Kind, Scheme: s}, nil
+	case BaselineFTL:
+		s, err := ftl.RecoverBaseline(dev)
+		if err != nil {
+			return nil, err
+		}
+		return &sim.Runner{Conf: r.Conf, Kind: r.Kind, Scheme: s}, nil
+	default:
+		return nil, fmt.Errorf("across: crash recovery is not implemented for %s", r.Kind)
+	}
+}
+
+// Aging parameterises the §4.1 device warm-up (used/valid fractions, seed).
+type Aging = sim.Aging
+
+// DefaultAging returns the paper's warm-up setting: 90% of capacity used
+// with ~39.8% valid.
+func DefaultAging() Aging { return sim.DefaultAging() }
+
+// Runner gives step-by-step control (build, age, replay several traces
+// against the same aged device).
+type Runner = sim.Runner
+
+// NewRunner builds a scheme of the given kind on a fresh device.
+func NewRunner(s Scheme, cfg Config) (*Runner, error) { return sim.NewRunner(s, cfg) }
+
+// ExperimentConfigDefaults returns the default harness configuration:
+// scaled Table 1 geometry, 5% trace lengths, aged device, 61-trace Fig 2
+// collection.
+func ExperimentConfigDefaults() experiments.Config { return experiments.DefaultConfig() }
+
+// ExperimentIDs lists the regenerable paper artifacts
+// (table1, table2, fig2, fig4, fig8–fig14).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure, writing it to w.
+func RunExperiment(id string, cfg experiments.Config, w io.Writer) error {
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.RunOne(id, s, w)
+}
+
+// RunAllExperiments regenerates every table and figure in paper order.
+func RunAllExperiments(cfg experiments.Config, w io.Writer) error {
+	s, err := experiments.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.RunAll(s, w)
+}

@@ -1,0 +1,129 @@
+// Command acrosssim replays a block trace against one FTL scheme and prints
+// the measured metrics.
+//
+// The trace comes either from a SYSTOR '17-format CSV file (-trace) or from
+// a built-in Table 2 workload profile (-profile lun1..lun6). Example:
+//
+//	acrosssim -profile lun1 -scheme Across-FTL -scale 0.05
+//	acrosssim -trace mytrace.csv -scheme FTL -page 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"across"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "Across-FTL", "FTL | MRSM | Across-FTL")
+		traceFile  = flag.String("trace", "", "SYSTOR-format CSV trace file")
+		profile    = flag.String("profile", "", "built-in workload profile (lun1..lun6)")
+		scale      = flag.Float64("scale", 0.05, "fraction of the profile's request count (with -profile)")
+		pageBytes  = flag.Int("page", 8192, "flash page size in bytes (4096, 8192, 16384)")
+		full       = flag.Bool("full", false, "full 128 GiB Table 1 geometry")
+		noAge      = flag.Bool("no-age", false, "skip device aging")
+		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
+		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
+	)
+	flag.Parse()
+
+	var scheme across.Scheme
+	switch *schemeName {
+	case "FTL":
+		scheme = across.BaselineFTL
+	case "MRSM":
+		scheme = across.MRSM
+	case "Across-FTL":
+		scheme = across.AcrossFTL
+	default:
+		fatal(fmt.Errorf("unknown scheme %q (want FTL, MRSM or Across-FTL)", *schemeName))
+	}
+
+	cfg := across.ExperimentConfig()
+	if *full {
+		cfg = across.Table1Config()
+	}
+	cfg = cfg.WithPageBytes(*pageBytes)
+
+	var reqs []across.Request
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		// Auto-detect SYSTOR '17 vs MSR Cambridge format.
+		reqs, err = across.ReadTraceAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *profile != "":
+		p, err := across.Profile(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err = across.GenerateTrace(p.Scale(*scale), cfg.LogicalSectors())
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -trace FILE or -profile lunN"))
+	}
+
+	st := across.TraceStats(reqs, *pageBytes)
+	fmt.Printf("device : %s\n", cfg.String())
+	fmt.Printf("trace  : %d requests, write ratio %.1f%%, avg write %.1f KB, across-page %.1f%%\n",
+		st.Requests, 100*st.WriteRatio(), st.AvgWriteKB(), 100*st.AcrossRatio())
+
+	var res *across.Result
+	var err error
+	switch {
+	case *cachePages > 0:
+		res, err = across.RunWithHostCache(scheme, cfg, *cachePages, reqs, !*noAge)
+	case *qd > 0:
+		var r *across.Runner
+		r, err = across.NewRunner(scheme, cfg)
+		if err == nil && !*noAge {
+			err = r.Age(across.DefaultAging())
+		}
+		if err == nil {
+			res, err = r.ReplayQD(reqs, *qd)
+		}
+	default:
+		res, err = across.Run(scheme, cfg, reqs, !*noAge)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	c := res.Counters
+	fmt.Printf("scheme : %s\n", res.Scheme)
+	fmt.Printf("latency: read %.3f ms (p50 %.3f, p99 %.3f), write %.3f ms (p50 %.3f, p99 %.3f), total I/O time %.3f s\n",
+		res.AvgReadLatency(), res.ReadLat.P50(), res.ReadLat.P99(),
+		res.AvgWriteLatency(), res.WriteLat.P50(), res.WriteLat.P99(),
+		res.TotalIOTime()/1000)
+	fmt.Printf("writes : %d flash programs (data %d, gc %d, map %d)\n",
+		c.FlashWrites(), c.DataWrites, c.GCWrites, c.MapWrites)
+	fmt.Printf("reads  : %d flash reads (data %d, gc %d, map %d)\n",
+		c.FlashReads(), c.DataReads, c.GCReads, c.MapReads)
+	fmt.Printf("erases : %d (endurance indicator); wear mean %.2f sd %.2f min %d max %d per block\n",
+		c.Erases, res.Wear.Mean, res.Wear.StdDev, res.Wear.Min, res.Wear.Max)
+	fmt.Printf("dram   : %d mapping accesses, table %.2f MB\n",
+		c.DRAMAccesses, float64(res.TableBytes)/(1<<20))
+	if res.Across != nil {
+		a := res.Across
+		d, p, u := a.ComponentShares()
+		fmt.Printf("across : %d areas written (direct %.1f%%, profitable-merge %.1f%%, unprofitable %.1f%%), rollback ratio %.1f%%\n",
+			a.AreasTouched(), 100*d, 100*p, 100*u, 100*a.RollbackRatio())
+		fmt.Printf("         %d direct reads, %d merged reads\n", a.DirectReads, a.MergedReads)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acrosssim:", err)
+	os.Exit(1)
+}

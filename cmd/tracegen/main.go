@@ -1,0 +1,76 @@
+// Command tracegen emits synthetic enterprise-VDI block traces in the
+// SYSTOR '17 CSV format, either one Table 2 profile or the whole Fig 2
+// collection.
+//
+//	tracegen -profile lun1 -scale 0.1 > lun1.csv
+//	tracegen -collection 61 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"across"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", "built-in profile to emit (lun1..lun6)")
+		collection = flag.Int("collection", 0, "emit N collection traces instead (Fig 2 style)")
+		dir        = flag.String("dir", ".", "output directory for -collection")
+		scale      = flag.Float64("scale", 1.0, "fraction of the profile's request count")
+		full       = flag.Bool("full", false, "size offsets for the full 128 GiB device")
+	)
+	flag.Parse()
+
+	cfg := across.ExperimentConfig()
+	if *full {
+		cfg = across.Table1Config()
+	}
+
+	switch {
+	case *profile != "":
+		p, err := across.Profile(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err := across.GenerateTrace(p.Scale(*scale), cfg.LogicalSectors())
+		if err != nil {
+			fatal(err)
+		}
+		if err := across.WriteTrace(os.Stdout, 0, reqs); err != nil {
+			fatal(err)
+		}
+	case *collection > 0:
+		for i, p := range across.Collection(*collection) {
+			reqs, err := across.GenerateTrace(p.Scale(*scale), cfg.LogicalSectors())
+			if err != nil {
+				fatal(err)
+			}
+			name := filepath.Join(*dir, fmt.Sprintf("%s.csv", p.Name))
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := across.WriteTrace(f, i, reqs); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			st := across.TraceStats(reqs, 8192)
+			fmt.Fprintf(os.Stderr, "%s: %d requests, across ratio %.3f\n",
+				name, st.Requests, st.AcrossRatio())
+		}
+	default:
+		fatal(fmt.Errorf("need -profile lunN or -collection N"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

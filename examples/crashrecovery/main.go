@@ -1,0 +1,68 @@
+// crashrecovery: power-loss recovery of the two-level mapping table.
+//
+// Across-FTL's AMT raises an obvious operational question the paper leaves
+// open: what happens to the re-aligned areas on power loss? This example
+// shows the answer this implementation takes — every area page carries its
+// full mapping entry (first LPN, sector offset, size, AMT index) in its
+// out-of-band metadata, so one mount-time scan rebuilds both levels of the
+// table with no journalling.
+//
+// The example runs a workload, "crashes" (discards all DRAM state), remounts
+// from flash alone, and verifies the recovered device serves the same data
+// and keeps running.
+//
+// Run with: go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"across"
+)
+
+func main() {
+	cfg := across.ScaledConfig(256)
+	r, err := across.NewRunner(across.AcrossFTL, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof, _ := across.Profile("lun1")
+	reqs, err := across.GenerateTrace(prof.Scale(0.01), cfg.LogicalSectors())
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := r.Replay(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before crash: %d requests serviced, %d re-aligned areas live, %d flash writes\n",
+		before.Requests, before.Across.AreasTouched()-before.Across.Rollbacks-before.Across.Superseded,
+		before.Counters.FlashWrites())
+
+	// Power loss: all controller DRAM state is gone. Remount from flash.
+	rec, err := across.RecoverFromCrash(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crash + remount: mapping tables rebuilt from OOB metadata, open blocks sealed")
+
+	// Re-read the same ranges the workload wrote: every request must still
+	// be serviceable from the recovered tables (the audit inside recovery
+	// has already verified referential integrity).
+	reads := make([]across.Request, 0, len(reqs))
+	for _, w := range reqs {
+		if w.Op == 1 {
+			reads = append(reads, across.Request{Time: w.Time, Op: 0, Offset: w.Offset, Count: w.Count})
+		}
+	}
+	after, err := rec.Replay(reads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: %d re-reads serviced (%d direct area reads), avg %.3f ms\n",
+		after.Requests, after.Across.DirectReads, after.AvgReadLatency())
+	fmt.Println("\nThe across-page areas survived the crash: the OOB record (AMT index +")
+	fmt.Println("packed LPN/offset/size) is sufficient to rebuild the two-level table.")
+}

@@ -1,0 +1,3 @@
+module across
+
+go 1.22

@@ -1,0 +1,210 @@
+package across_test
+
+// End-to-end integration tests: the workflows a user of the repository
+// actually runs, wired through the public API — trace files on disk,
+// multi-phase replays on one aged device, multi-tenant consolidation, and
+// full-harness regeneration — with cross-scheme consistency checks.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"across"
+)
+
+func integConfig() across.Config {
+	c := across.Table1Config()
+	c.Channels = 4
+	c.ChipsPerChan = 1
+	c.DiesPerChip = 1
+	c.PlanesPerDie = 1
+	c.BlocksPerPlane = 64
+	c.PagesPerBlock = 32
+	return c
+}
+
+// TestTraceFileWorkflow exercises the acrosssim/tracegen workflow: generate
+// a trace, write it to disk in SYSTOR format, read it back, replay it.
+func TestTraceFileWorkflow(t *testing.T) {
+	cfg := integConfig()
+	prof, err := across.Profile("lun4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := across.GenerateTrace(prof.Scale(0.003), cfg.LogicalSectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lun4.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := across.WriteTrace(f, 4, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	loaded, err := across.ReadTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(reqs) {
+		t.Fatalf("file round trip lost requests: %d != %d", len(loaded), len(reqs))
+	}
+
+	// The loaded trace replays identically to the in-memory one (times are
+	// microsecond-rounded by the CSV, so compare op counts, not latencies).
+	resA, err := across.Run(across.AcrossFTL, cfg, reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := across.Run(across.AcrossFTL, cfg, loaded, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Counters.FlashWrites() != resB.Counters.FlashWrites() {
+		t.Errorf("flash writes differ after file round trip: %d vs %d",
+			resA.Counters.FlashWrites(), resB.Counters.FlashWrites())
+	}
+	if resA.Counters.Erases != resB.Counters.Erases {
+		t.Errorf("erases differ after file round trip: %d vs %d",
+			resA.Counters.Erases, resB.Counters.Erases)
+	}
+}
+
+// TestMultiPhaseReplayOnOneDevice ages one device and replays three trace
+// segments back to back, as a long-running study would; state must carry
+// over while metrics reset per phase.
+func TestMultiPhaseReplayOnOneDevice(t *testing.T) {
+	cfg := integConfig()
+	r, err := across.NewRunner(across.AcrossFTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := across.Profile("lun5")
+	full, err := across.GenerateTrace(prof.Scale(0.006), cfg.LogicalSectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := full[len(full)-1].Time
+	third := span / 3
+	segments := [][]across.Request{
+		across.WindowTrace(full, 0, third),
+		across.WindowTrace(full, third, 2*third),
+		across.WindowTrace(full, 2*third, span+1),
+	}
+	var total int64
+	for i, seg := range segments {
+		res, err := r.Replay(seg)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if res.Requests != int64(len(seg)) {
+			t.Fatalf("segment %d lost requests", i)
+		}
+		total += res.Requests
+	}
+	if total != int64(len(full)) {
+		t.Fatalf("segments covered %d of %d requests", total, len(full))
+	}
+}
+
+// TestCrossSchemeDataConsistency replays one trace on all four schemes and
+// checks the inter-scheme invariants that must hold regardless of tuning.
+func TestCrossSchemeDataConsistency(t *testing.T) {
+	cfg := integConfig()
+	prof, _ := across.Profile("lun2")
+	reqs, err := across.GenerateTrace(prof.Scale(0.004), cfg.LogicalSectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := append(across.Schemes(), across.DFTL)
+	results := map[across.Scheme]*across.Result{}
+	for _, k := range kinds {
+		res, err := across.Run(k, cfg, reqs, true)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		results[k] = res
+		// Universal sanity: every scheme serviced every request.
+		if res.Requests != int64(len(reqs)) {
+			t.Errorf("%s: %d of %d requests", k, res.Requests, len(reqs))
+		}
+		if res.Counters.FlashWrites() == 0 {
+			t.Errorf("%s: no flash writes", k)
+		}
+	}
+	// DFTL's data path equals the baseline's; only map traffic differs.
+	ftlRes, dftlRes := results[across.BaselineFTL], results[across.DFTL]
+	if dftlRes.Counters.DataWrites != ftlRes.Counters.DataWrites {
+		t.Errorf("DFTL data writes %d != FTL %d (data paths must match)",
+			dftlRes.Counters.DataWrites, ftlRes.Counters.DataWrites)
+	}
+	if dftlRes.Counters.MapWrites == 0 {
+		t.Error("DFTL produced no map writes on an aged device")
+	}
+}
+
+// TestHarnessEndToEndMarkdown runs two artifacts through the public API in
+// markdown mode, as the EXPERIMENTS.md regeneration workflow does.
+func TestHarnessEndToEndMarkdown(t *testing.T) {
+	cfg := across.ExperimentConfigDefaults()
+	cfg.SSD = integConfig()
+	cfg.Scale = 0.002
+	cfg.CollectionSize = 4
+	cfg.Format = "markdown"
+	var buf bytes.Buffer
+	for _, id := range []string{"table2", "fig13"} {
+		if err := across.RunExperiment(id, cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|---|") {
+		t.Errorf("markdown table markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**Table 2") {
+		t.Error("markdown title missing")
+	}
+}
+
+// TestDeterminismAcrossRuns: identical configuration and trace must yield
+// bit-identical metrics (the whole simulator is seeded).
+func TestDeterminismAcrossRuns(t *testing.T) {
+	cfg := integConfig()
+	prof, _ := across.Profile("lun6")
+	reqs, err := across.GenerateTrace(prof.Scale(0.003), cfg.LogicalSectors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := across.Run(across.AcrossFTL, cfg, reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := across.Run(across.AcrossFTL, cfg, reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("counters differ across identical runs:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+	if a.TotalIOTime() != b.TotalIOTime() {
+		t.Errorf("latency sums differ: %v vs %v", a.TotalIOTime(), b.TotalIOTime())
+	}
+	if *a.Across != *b.Across {
+		t.Errorf("across census differs: %+v vs %+v", a.Across, b.Across)
+	}
+}

@@ -1,0 +1,77 @@
+package acrossftl
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+	"across/internal/ftl"
+	"across/internal/mapping"
+)
+
+// Audit verifies the referential integrity of the two-level mapping table
+// against the flash array. It is O(logical pages) and intended for tests and
+// debugging, not the replay hot path. The invariants checked are the ones
+// §3.2 relies on:
+//
+//   - PMT.AIdx and AMT entries reference each other bijectively;
+//   - every area is a legal across-page extent: it starts inside its first
+//     page, crosses exactly the one page boundary, and fits one flash page;
+//   - every area's physical page is valid and OOB-tagged as that area;
+//   - every mapped PMT page is valid flash tagged with the owning LPN.
+func (s *Scheme) Audit() error {
+	liveSeen := 0
+	for lpn := int64(0); lpn < s.PMT.Len(); lpn++ {
+		e := s.PMT.Get(lpn)
+		if e.PPN != flash.NilPPN {
+			if st := s.Dev.Array.State(e.PPN); st != flash.PageValid {
+				return fmt.Errorf("audit: lpn %d maps to %v page %d", lpn, st, e.PPN)
+			}
+			tag := s.Dev.Array.TagOf(e.PPN)
+			if tag.Kind != ftl.TagData || tag.Key != lpn {
+				return fmt.Errorf("audit: lpn %d page %d has foreign tag %+v", lpn, e.PPN, tag)
+			}
+		}
+		if e.AIdx == mapping.NoAIdx {
+			continue
+		}
+		liveSeen++
+		if !s.AMT.InUse(e.AIdx) {
+			return fmt.Errorf("audit: lpn %d references dead AMT index %d", lpn, e.AIdx)
+		}
+		a := s.AMT.Get(e.AIdx)
+		if a.LPN != lpn {
+			return fmt.Errorf("audit: AMT %d back-references lpn %d, PMT says %d", e.AIdx, a.LPN, lpn)
+		}
+		spp := int32(s.SPP)
+		if a.Off < 0 || a.Off >= spp {
+			return fmt.Errorf("audit: AMT %d offset %d outside first page", e.AIdx, a.Off)
+		}
+		if a.Size <= 0 || a.Size > spp {
+			return fmt.Errorf("audit: AMT %d size %d not in (0,%d]", e.AIdx, a.Size, spp)
+		}
+		if a.End() <= spp {
+			return fmt.Errorf("audit: AMT %d does not cross the page boundary (end %d)", e.AIdx, a.End())
+		}
+		if a.End() > 2*spp {
+			return fmt.Errorf("audit: AMT %d extends past the second page (end %d)", e.AIdx, a.End())
+		}
+		if st := s.Dev.Array.State(a.APPN); st != flash.PageValid {
+			return fmt.Errorf("audit: AMT %d area page %d is %v", e.AIdx, a.APPN, st)
+		}
+		tag := s.Dev.Array.TagOf(a.APPN)
+		if tag.Kind != ftl.TagAcross || tag.Key != int64(e.AIdx) {
+			return fmt.Errorf("audit: AMT %d area page %d has foreign tag %+v", e.AIdx, a.APPN, tag)
+		}
+		// The OOB copy of the area geometry (the recovery record) must
+		// match the in-DRAM entry.
+		tLPN, tOff, tSize := unpackAux(tag.Aux)
+		if tLPN != a.LPN || tOff != a.Off || tSize != a.Size {
+			return fmt.Errorf("audit: AMT %d OOB geometry (%d,%d,%d) != entry (%d,%d,%d)",
+				e.AIdx, tLPN, tOff, tSize, a.LPN, a.Off, a.Size)
+		}
+	}
+	if liveSeen != s.AMT.Live() {
+		return fmt.Errorf("audit: PMT references %d areas, AMT says %d live", liveSeen, s.AMT.Live())
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package acrossftl
+
+// Stats is the across-page operation census of Fig 8: the write-path
+// component distribution (a Direct-write creates a fresh area; a
+// Profitable-AMerge is triggered by an across-page request and still saves a
+// flash program over the conventional FTL; an Unprofitable-AMerge is
+// triggered by a non-across request and saves nothing) plus the rollback and
+// read-path counters discussed in §4.2.1.
+type Stats struct {
+	DirectWrites       int64 // across write with no existing overlapping area
+	ProfitableAMerge   int64 // AMerge triggered by an across-page request
+	UnprofitableAMerge int64 // AMerge triggered by any other request
+	Rollbacks          int64 // areas dissolved by ARollback
+	Superseded         int64 // areas dropped because an update fully covered them
+
+	DirectReads          int64 // across reads served entirely from one area page
+	MergedReads          int64 // across reads needing area + normal pages
+	MergedReadFlashReads int64 // flash reads issued by merged reads
+
+	AcrossWrites int64 // across-page write requests serviced
+	AcrossReads  int64 // across-page read requests serviced
+}
+
+// AreasTouched returns the number of across-area write events (the
+// denominator of Fig 8b's distribution).
+func (s Stats) AreasTouched() int64 {
+	return s.DirectWrites + s.ProfitableAMerge + s.UnprofitableAMerge
+}
+
+// RollbackRatio is Fig 8(a): rollbacks over all across-page areas acted on.
+func (s Stats) RollbackRatio() float64 {
+	n := s.AreasTouched() + s.Rollbacks
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Rollbacks) / float64(n)
+}
+
+// ComponentShares returns the Fig 8(b) distribution (direct, profitable,
+// unprofitable) as fractions of across-area writes.
+func (s Stats) ComponentShares() (direct, profitable, unprofitable float64) {
+	n := s.AreasTouched()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(s.DirectWrites) / float64(n),
+		float64(s.ProfitableAMerge) / float64(n),
+		float64(s.UnprofitableAMerge) / float64(n)
+}

@@ -1,0 +1,129 @@
+// Package cache provides the DRAM-side caching machinery of the FTL: a
+// hand-rolled intrusive LRU and, on top of it, a cached mapping table (CMT)
+// that models DFTL-style translation-page caching. MRSM runs its whole
+// (oversized) mapping table through the CMT; Across-FTL runs only its AMT
+// through it; the baseline FTL's table fits in DRAM and bypasses it. The
+// miss/eviction accounting of this package is the mechanism behind the
+// Map components of Fig 10 and the DRAM overheads of Fig 12.
+package cache
+
+// lruNode is an intrusive doubly-linked-list node keyed by an int64 id.
+type lruNode struct {
+	key        int64
+	dirty      bool
+	prev, next *lruNode
+}
+
+// LRU is a fixed-capacity least-recently-used set of int64 keys with a dirty
+// bit per key. The zero value is not usable; call NewLRU.
+type LRU struct {
+	capacity int
+	table    map[int64]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+// NewLRU creates an LRU that holds at most capacity keys (capacity >= 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, table: make(map[int64]*lruNode, capacity)}
+}
+
+// Len returns the number of resident keys.
+func (l *LRU) Len() int { return len(l.table) }
+
+// Cap returns the capacity.
+func (l *LRU) Cap() int { return l.capacity }
+
+// Contains reports residency without touching recency.
+func (l *LRU) Contains(key int64) bool {
+	_, ok := l.table[key]
+	return ok
+}
+
+// IsDirty reports the dirty bit of a resident key (false if absent).
+func (l *LRU) IsDirty(key int64) bool {
+	n, ok := l.table[key]
+	return ok && n.dirty
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+// Touch makes key the most recently used, inserting it if absent, and ORs
+// dirty into its dirty bit. It returns whether the key was already resident
+// and, if an insertion evicted the LRU victim, the victim's key and dirty
+// bit (evicted=false otherwise).
+func (l *LRU) Touch(key int64, dirty bool) (hit bool, evictedKey int64, evictedDirty, evicted bool) {
+	if n, ok := l.table[key]; ok {
+		n.dirty = n.dirty || dirty
+		if l.head != n {
+			l.unlink(n)
+			l.pushFront(n)
+		}
+		return true, 0, false, false
+	}
+	if len(l.table) >= l.capacity {
+		victim := l.tail
+		l.unlink(victim)
+		delete(l.table, victim.key)
+		evictedKey, evictedDirty, evicted = victim.key, victim.dirty, true
+	}
+	n := &lruNode{key: key, dirty: dirty}
+	l.table[key] = n
+	l.pushFront(n)
+	return false, evictedKey, evictedDirty, evicted
+}
+
+// Remove drops a key (e.g. when its translation page is discarded) and
+// reports whether it was resident and dirty.
+func (l *LRU) Remove(key int64) (wasResident, wasDirty bool) {
+	n, ok := l.table[key]
+	if !ok {
+		return false, false
+	}
+	l.unlink(n)
+	delete(l.table, key)
+	return true, n.dirty
+}
+
+// Clean clears the dirty bit of a resident key (after its contents were
+// flushed out of band).
+func (l *LRU) Clean(key int64) {
+	if n, ok := l.table[key]; ok {
+		n.dirty = false
+	}
+}
+
+// Keys returns resident keys from most to least recently used (test helper).
+func (l *LRU) Keys() []int64 {
+	out := make([]int64, 0, len(l.table))
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.key)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleIdleChipStartsImmediately(t *testing.T) {
+	s := NewScheduler(2)
+	if got := s.Schedule(0, 10, 2); got != 12 {
+		t.Fatalf("completion = %v, want 12", got)
+	}
+	if got := s.BusyUntil(0); got != 12 {
+		t.Fatalf("BusyUntil = %v, want 12", got)
+	}
+}
+
+func TestScheduleQueuesBehindBusyChip(t *testing.T) {
+	s := NewScheduler(1)
+	s.Schedule(0, 0, 5)
+	// Submitted at t=1 while chip is busy until 5: starts at 5, ends at 8.
+	if got := s.Schedule(0, 1, 3); got != 8 {
+		t.Fatalf("completion = %v, want 8", got)
+	}
+	// Submitted after the chip went idle: starts at its own arrival.
+	if got := s.Schedule(0, 20, 1); got != 21 {
+		t.Fatalf("completion = %v, want 21", got)
+	}
+}
+
+func TestChipsAreIndependent(t *testing.T) {
+	s := NewScheduler(2)
+	s.Schedule(0, 0, 100)
+	if got := s.Schedule(1, 0, 1); got != 1 {
+		t.Fatalf("chip 1 completion = %v, want 1 (must not queue behind chip 0)", got)
+	}
+}
+
+func TestHorizonAndBusyTime(t *testing.T) {
+	s := NewScheduler(3)
+	s.Schedule(0, 0, 4)
+	s.Schedule(2, 1, 7)
+	if got := s.Horizon(); got != 8 {
+		t.Fatalf("Horizon = %v, want 8", got)
+	}
+	if got := s.BusyTime(2); got != 7 {
+		t.Fatalf("BusyTime(2) = %v, want 7", got)
+	}
+	if got := s.Ops(); got != 2 {
+		t.Fatalf("Ops = %d, want 2", got)
+	}
+	s.Reset()
+	if s.Horizon() != 0 || s.Ops() != 0 || s.BusyTime(0) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	if s.Chips() != 3 {
+		t.Fatal("Reset changed chip count")
+	}
+}
+
+func TestSchedulePanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero chips", func() { NewScheduler(0) })
+	s := NewScheduler(1)
+	assertPanics("chip out of range", func() { s.Schedule(1, 0, 1) })
+	assertPanics("negative chip", func() { s.Schedule(-1, 0, 1) })
+	assertPanics("negative duration", func() { s.Schedule(0, 0, -1) })
+}
+
+func TestJoinTracksSlowestOp(t *testing.T) {
+	j := NewJoin(10)
+	j.Add(15)
+	j.Add(12)
+	j.Add(18)
+	if got := j.Done(); got != 18 {
+		t.Fatalf("Done = %v, want 18", got)
+	}
+	if got := j.Latency(); got != 8 {
+		t.Fatalf("Latency = %v, want 8", got)
+	}
+	if got := j.Ops(); got != 3 {
+		t.Fatalf("Ops = %d, want 3", got)
+	}
+}
+
+func TestJoinWithNoOpsHasZeroLatency(t *testing.T) {
+	j := NewJoin(5)
+	if j.Latency() != 0 || j.Done() != 5 {
+		t.Fatalf("empty join latency=%v done=%v, want 0 and 5", j.Latency(), j.Done())
+	}
+}
+
+func TestJoinAddDelayIsSerial(t *testing.T) {
+	j := NewJoin(0)
+	j.Add(4)
+	j.AddDelay(0.5)
+	if got := j.Done(); got != 4.5 {
+		t.Fatalf("Done = %v, want 4.5", got)
+	}
+}
+
+// Property: a chip's timeline is monotone — completions never precede the
+// submission, never precede the previous completion, and busy time equals
+// the sum of durations.
+func TestScheduleMonotoneProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler(1)
+		var prevEnd, sum float64
+		now := 0.0
+		for i := 0; i < int(nOps%50)+1; i++ {
+			now += rng.Float64() * 3
+			dur := rng.Float64() * 2
+			end := s.Schedule(0, now, dur)
+			if end < now || end < prevEnd || end < now+dur-1e-12 {
+				return false
+			}
+			prevEnd = end
+			sum += dur
+		}
+		return s.BusyTime(0) > sum-1e-9 && s.BusyTime(0) < sum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

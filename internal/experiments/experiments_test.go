@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"across/internal/sim"
+	"across/internal/ssdconf"
+)
+
+// quickConfig keeps experiment tests fast: small geometry, tiny traces,
+// a short Fig 2 collection.
+func quickConfig() Config {
+	c := ssdconf.Table1()
+	c.Channels = 4
+	c.ChipsPerChan = 1
+	c.DiesPerChip = 1
+	c.PlanesPerDie = 1
+	c.BlocksPerPlane = 64
+	c.PagesPerBlock = 32
+	return Config{SSD: c, Scale: 0.004, Age: true, CollectionSize: 8}
+}
+
+func quickSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	c := quickConfig()
+	c.Scale = 0
+	if _, err := NewSession(c); err == nil {
+		t.Fatal("Scale 0 accepted")
+	}
+	c = quickConfig()
+	c.SSD.Channels = 0
+	if _, err := NewSession(c); err == nil {
+		t.Fatal("invalid SSD accepted")
+	}
+	c = quickConfig()
+	c.CollectionSize = 0
+	s, err := NewSession(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.CollectionSize != 61 {
+		t.Fatalf("CollectionSize default = %d, want 61", s.Cfg.CollectionSize)
+	}
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for _, id := range want {
+		e, err := ByID(id)
+		if err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("%s is incomplete: %+v", id, e)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	// IDs covers paper artifacts plus the two extension studies.
+	if len(IDs()) != len(want)+len(Extensions()) {
+		t.Errorf("IDs() = %v", IDs())
+	}
+	for _, e := range Extensions() {
+		got, err := ByID(e.ID)
+		if err != nil || got.Run == nil {
+			t.Errorf("extension %s unresolvable: %v", e.ID, err)
+		}
+	}
+}
+
+func TestTraceMemoisation(t *testing.T) {
+	s := quickSession(t)
+	p := s.Luns()[0]
+	a, err := s.Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Trace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("trace not memoised")
+	}
+}
+
+func TestResultMemoisationAndParallelRuns(t *testing.T) {
+	s := quickSession(t)
+	pb := s.Cfg.SSD.PageBytes
+	luns := s.lunNames()[:2]
+	m1, err := s.Results(pb, luns, sim.Kinds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != 6 {
+		t.Fatalf("results = %d, want 6", len(m1))
+	}
+	r1, err := s.Result(sim.KindFTL, luns[0], pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != m1[runKey{sim.KindFTL, luns[0], pb}] {
+		t.Fatal("result not memoised")
+	}
+}
+
+func TestResultsUnknownLun(t *testing.T) {
+	s := quickSession(t)
+	if _, err := s.Results(s.Cfg.SSD.PageBytes, []string{"nope"}, sim.Kinds()); err == nil {
+		t.Fatal("unknown lun accepted")
+	}
+}
+
+// TestEveryExperimentRuns executes the full registry end to end on the
+// quick configuration and sanity-checks the rendered output.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	s := quickSession(t)
+	var buf bytes.Buffer
+	if err := RunAll(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"table1", "Block number",
+		"table2", "Across R",
+		"fig2", "Across-page ratio",
+		"fig4", "Flush write count",
+		"fig8", "Rollback",
+		"fig9", "Write response time",
+		"fig10", "map share",
+		"fig11", "Erase count",
+		"fig12", "Mapping table size",
+		"fig13", "16KB",
+		"fig14", "varied page sizes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "+Inf") {
+		t.Error("output contains NaN/Inf")
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	s := quickSession(t)
+	var buf bytes.Buffer
+	for _, id := range []string{"ext-tail", "ext-wear"} {
+		if err := RunOne(id, s, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"p99", "stddev"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extension output missing %q", want)
+		}
+	}
+}
+
+func TestSeedOffsetChangesTraces(t *testing.T) {
+	a := quickSession(t)
+	cfgB := quickConfig()
+	cfgB.SeedOffset = 42
+	b, err := NewSession(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Trace(a.Luns()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Trace(b.Luns()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(ra) == len(rb)
+	if same {
+		for i := range ra {
+			if ra[i] != rb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed offset did not perturb the trace")
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	s := quickSession(t)
+	var buf bytes.Buffer
+	if err := RunOne("table1", s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "262144") {
+		t.Error("table1 output missing paper block count")
+	}
+	if err := RunOne("nope", s, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

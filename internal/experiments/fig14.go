@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+
+	"across/internal/report"
+	"across/internal/sim"
+)
+
+// pageSizes are the case-study variants of §4.3.
+var pageSizes = []int{4 * 1024, 8 * 1024, 16 * 1024}
+
+// fig14Experiment re-runs the three-scheme comparison at 4, 8 and 16 KB
+// pages and reports overall I/O time (a) and erase counts (b).
+func fig14Experiment() Experiment {
+	return Experiment{
+		ID:    "fig14",
+		Title: "I/O time (a) and erase count (b) with varied page sizes",
+		Paper: "Across-FTL outperforms FTL and MRSM at every page size; the improvement does not shrink as pages grow (it tracks the across-page ratio of Fig 13)",
+		Run: func(s *Session, w io.Writer) error {
+			for _, pb := range pageSizes {
+				results, err := s.Results(pb, s.lunNames(), sim.Kinds())
+				if err != nil {
+					return err
+				}
+				kb := pb / 1024
+				ta := report.New("Fig 14(a) Overall I/O time, "+report.N(int64(kb))+"KB pages (normalized to FTL)",
+					"Trace", "FTL (ks)", "MRSM", "Across-FTL", "Across vs FTL")
+				tb := report.New("Fig 14(b) Erase count, "+report.N(int64(kb))+"KB pages (normalized to FTL)",
+					"Trace", "FTL (abs)", "MRSM", "Across-FTL", "Across vs FTL")
+				for _, lun := range s.lunNames() {
+					f := results[runKey{sim.KindFTL, lun, pb}]
+					m := results[runKey{sim.KindMRSM, lun, pb}]
+					a := results[runKey{sim.KindAcross, lun, pb}]
+					ta.Add(lun, "("+report.F(f.TotalIOTime()/1e6, 3)+")",
+						report.Norm(m.TotalIOTime(), f.TotalIOTime()),
+						report.Norm(a.TotalIOTime(), f.TotalIOTime()),
+						report.Delta(a.TotalIOTime(), f.TotalIOTime()))
+					tb.Add(lun, "("+report.N(f.Counters.Erases)+")",
+						report.Norm(float64(m.Counters.Erases), float64(f.Counters.Erases)),
+						report.Norm(float64(a.Counters.Erases), float64(f.Counters.Erases)),
+						report.Delta(float64(a.Counters.Erases), float64(f.Counters.Erases)))
+				}
+				ta.RenderTo(w, s.Cfg.Format)
+				tb.RenderTo(w, s.Cfg.Format)
+			}
+			return nil
+		},
+	}
+}

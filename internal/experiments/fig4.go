@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"io"
+
+	"across/internal/report"
+	"across/internal/sim"
+	"across/internal/trace"
+)
+
+// fig4Experiment quantifies the across-page penalty under the conventional
+// FTL: per-sector read latency (a), write latency (b) and flush count (c)
+// of across-page requests versus normal requests.
+func fig4Experiment() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Across-page vs normal requests under conventional FTL (per sector-size)",
+		Paper: "across-page read latency 1.61x, write latency 1.49x, flush count 2.69x that of normal requests (averages)",
+		Run: func(s *Session, w io.Writer) error {
+			pageBytes := s.Cfg.SSD.PageBytes
+			results, err := s.Results(pageBytes, s.lunNames(), []sim.SchemeKind{sim.KindFTL})
+			if err != nil {
+				return err
+			}
+			ta := report.New("Fig 4(a) Read latency per sector (ms)", "Trace", "Across-page", "Normal", "Ratio")
+			tb := report.New("Fig 4(b) Write latency per sector (ms)", "Trace", "Across-page", "Normal", "Ratio")
+			tc := report.New("Fig 4(c) Flush write count per sector", "Trace", "Across-page", "Normal", "Ratio")
+			var sumR, sumW, sumF float64
+			var n int
+			for _, lun := range s.lunNames() {
+				res := results[runKey{sim.KindFTL, lun, pageBytes}]
+				ar, nr := res.AcrossBucket(trace.OpRead), res.MergedNormal(trace.OpRead)
+				aw, nw := res.AcrossBucket(trace.OpWrite), res.MergedNormal(trace.OpWrite)
+				rRatio := ratio(ar.LatencyPerSector(), nr.LatencyPerSector())
+				wRatio := ratio(aw.LatencyPerSector(), nw.LatencyPerSector())
+				fRatio := ratio(aw.FlushesPerSector(), nw.FlushesPerSector())
+				ta.Add(lun, report.F(ar.LatencyPerSector(), 4), report.F(nr.LatencyPerSector(), 4), report.F(rRatio, 2))
+				tb.Add(lun, report.F(aw.LatencyPerSector(), 4), report.F(nw.LatencyPerSector(), 4), report.F(wRatio, 2))
+				tc.Add(lun, report.F(aw.FlushesPerSector(), 4), report.F(nw.FlushesPerSector(), 4), report.F(fRatio, 2))
+				sumR += rRatio
+				sumW += wRatio
+				sumF += fRatio
+				n++
+			}
+			ta.Note = "mean ratio " + report.F(sumR/float64(n), 2) + " (paper: 1.61)"
+			tb.Note = "mean ratio " + report.F(sumW/float64(n), 2) + " (paper: 1.49)"
+			tc.Note = "mean ratio " + report.F(sumF/float64(n), 2) + " (paper: 2.69)"
+			ta.RenderTo(w, s.Cfg.Format)
+			tb.RenderTo(w, s.Cfg.Format)
+			tc.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"across/internal/report"
+	"across/internal/sim"
+)
+
+// fig8Experiment reports Across-FTL's across-page operation census.
+func fig8Experiment() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "Statistics of across-page access under Across-FTL",
+		Paper: "ARollback ratio 3.9% avg (a); Unprofitable-AMerge only 8.9% of across writes (b); merged reads 0.12% of flash reads",
+		Run: func(s *Session, w io.Writer) error {
+			pageBytes := s.Cfg.SSD.PageBytes
+			results, err := s.Results(pageBytes, s.lunNames(), []sim.SchemeKind{sim.KindAcross})
+			if err != nil {
+				return err
+			}
+			ta := report.New("Fig 8(a) Across-page rollback ratio", "Trace", "Rollback ratio")
+			tb := report.New("Fig 8(b) Across-page write component distribution",
+				"Trace", "Direct-write", "Profitable-AMerge", "Unprofitable-AMerge")
+			tc := report.New("Merged reads (discussed in §4.2.1)",
+				"Trace", "Direct reads", "Merged reads", "Merged flash reads / total flash reads")
+			var sumRoll, sumUnprof, sumMergedShare float64
+			n := 0
+			for _, lun := range s.lunNames() {
+				res := results[runKey{sim.KindAcross, lun, pageBytes}]
+				if res.Across == nil {
+					return fmt.Errorf("no across census for %s", lun)
+				}
+				st := res.Across
+				d, p, u := st.ComponentShares()
+				mergedShare := 0.0
+				if tot := res.Counters.FlashReads(); tot > 0 {
+					mergedShare = float64(st.MergedReadFlashReads) / float64(tot)
+				}
+				ta.Add(lun, report.Pct(st.RollbackRatio()))
+				tb.Add(lun, report.Pct(d), report.Pct(p), report.Pct(u))
+				tc.Add(lun, report.N(st.DirectReads), report.N(st.MergedReads), report.Pct(mergedShare))
+				sumRoll += st.RollbackRatio()
+				sumUnprof += u
+				sumMergedShare += mergedShare
+				n++
+			}
+			f := float64(n)
+			ta.Note = "mean " + report.Pct(sumRoll/f) + " (paper: 3.9%)"
+			tb.Note = "mean unprofitable " + report.Pct(sumUnprof/f) + " (paper: 8.9%)"
+			tc.Note = "mean merged-read share " + report.Pct(sumMergedShare/f) + " (paper: 0.12%)"
+			ta.RenderTo(w, s.Cfg.Format)
+			tb.RenderTo(w, s.Cfg.Format)
+			tc.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}

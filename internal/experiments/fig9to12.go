@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"io"
+
+	"across/internal/report"
+	"across/internal/sim"
+)
+
+// comparison fetches the three-scheme results for every lun at the session's
+// page size.
+func (s *Session) comparison() (map[runKey]*sim.Result, error) {
+	return s.Results(s.Cfg.SSD.PageBytes, s.lunNames(), sim.Kinds())
+}
+
+// fig9Experiment reports normalized response times.
+func fig9Experiment() Experiment {
+	return Experiment{
+		ID:    "fig9",
+		Title: "I/O response time (normalized to FTL; FTL absolute in parentheses)",
+		Paper: "Across-FTL cuts write time 8.9% vs FTL and 3.7% vs MRSM; reads improve >5.0%; overall I/O time falls 4.6-11.6%",
+		Run: func(s *Session, w io.Writer) error {
+			results, err := s.comparison()
+			if err != nil {
+				return err
+			}
+			pb := s.Cfg.SSD.PageBytes
+			ta := report.New("Fig 9(a) Read response time", "Trace", "FTL (ms)", "MRSM", "Across-FTL", "Across vs FTL")
+			tb := report.New("Fig 9(b) Write response time", "Trace", "FTL (ms)", "MRSM", "Across-FTL", "Across vs FTL")
+			tc := report.New("Fig 9(c) Overall I/O time", "Trace", "FTL (ks)", "MRSM", "Across-FTL", "Across vs FTL")
+			for _, lun := range s.lunNames() {
+				f := results[runKey{sim.KindFTL, lun, pb}]
+				m := results[runKey{sim.KindMRSM, lun, pb}]
+				a := results[runKey{sim.KindAcross, lun, pb}]
+				ta.Add(lun, "("+report.F(f.AvgReadLatency(), 3)+")",
+					report.Norm(m.AvgReadLatency(), f.AvgReadLatency()),
+					report.Norm(a.AvgReadLatency(), f.AvgReadLatency()),
+					report.Delta(a.AvgReadLatency(), f.AvgReadLatency()))
+				tb.Add(lun, "("+report.F(f.AvgWriteLatency(), 3)+")",
+					report.Norm(m.AvgWriteLatency(), f.AvgWriteLatency()),
+					report.Norm(a.AvgWriteLatency(), f.AvgWriteLatency()),
+					report.Delta(a.AvgWriteLatency(), f.AvgWriteLatency()))
+				tc.Add(lun, "("+report.F(f.TotalIOTime()/1e6, 3)+")",
+					report.Norm(m.TotalIOTime(), f.TotalIOTime()),
+					report.Norm(a.TotalIOTime(), f.TotalIOTime()),
+					report.Delta(a.TotalIOTime(), f.TotalIOTime()))
+			}
+			ta.RenderTo(w, s.Cfg.Format)
+			tb.RenderTo(w, s.Cfg.Format)
+			tc.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+// fig10Experiment reports normalized flash operation counts with the
+// Map/Data split.
+func fig10Experiment() Experiment {
+	return Experiment{
+		ID:    "fig10",
+		Title: "Flash write (a) and read (b) counts, normalized to FTL, split Map vs Data",
+		Paper: "Across-FTL: -15.9% writes vs FTL, -30.9% vs MRSM; map-write share 2.6% (Across) vs 36.9% (MRSM); -9.7%/-16.1% reads; map-read share 0.74% vs 34.4%",
+		Run: func(s *Session, w io.Writer) error {
+			results, err := s.comparison()
+			if err != nil {
+				return err
+			}
+			pb := s.Cfg.SSD.PageBytes
+			ta := report.New("Fig 10(a) Flash write count",
+				"Trace", "FTL (x10K)", "MRSM", "MRSM map share", "Across-FTL", "Across map share")
+			tb := report.New("Fig 10(b) Flash read count",
+				"Trace", "FTL (x10K)", "MRSM", "MRSM map share", "Across-FTL", "Across map share")
+			for _, lun := range s.lunNames() {
+				f := results[runKey{sim.KindFTL, lun, pb}].Counters
+				m := results[runKey{sim.KindMRSM, lun, pb}].Counters
+				a := results[runKey{sim.KindAcross, lun, pb}].Counters
+				ta.Add(lun,
+					"("+report.F(float64(f.FlashWrites())/1e4, 2)+")",
+					report.Norm(float64(m.FlashWrites()), float64(f.FlashWrites())),
+					report.Pct(share(m.MapWrites, m.FlashWrites())),
+					report.Norm(float64(a.FlashWrites()), float64(f.FlashWrites())),
+					report.Pct(share(a.MapWrites, a.FlashWrites())))
+				tb.Add(lun,
+					"("+report.F(float64(f.FlashReads())/1e4, 2)+")",
+					report.Norm(float64(m.FlashReads()), float64(f.FlashReads())),
+					report.Pct(share(m.MapReads, m.FlashReads())),
+					report.Norm(float64(a.FlashReads()), float64(f.FlashReads())),
+					report.Pct(share(a.MapReads, a.FlashReads())))
+			}
+			ta.RenderTo(w, s.Cfg.Format)
+			tb.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+func share(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// fig11Experiment reports normalized erase counts.
+func fig11Experiment() Experiment {
+	return Experiment{
+		ID:    "fig11",
+		Title: "Erase count (normalized to FTL; FTL absolute in parentheses)",
+		Paper: "Across-FTL reduces erases by 13.3% vs FTL and 24.6% vs MRSM; MRSM is the worst of the three",
+		Run: func(s *Session, w io.Writer) error {
+			results, err := s.comparison()
+			if err != nil {
+				return err
+			}
+			pb := s.Cfg.SSD.PageBytes
+			t := report.New("Fig 11 (reproduced)", "Trace", "FTL (abs)", "MRSM", "Across-FTL", "Across vs FTL", "Across vs MRSM")
+			var sumF, sumM float64
+			for _, lun := range s.lunNames() {
+				f := results[runKey{sim.KindFTL, lun, pb}].Counters.Erases
+				m := results[runKey{sim.KindMRSM, lun, pb}].Counters.Erases
+				a := results[runKey{sim.KindAcross, lun, pb}].Counters.Erases
+				t.Add(lun, "("+report.N(f)+")",
+					report.Norm(float64(m), float64(f)),
+					report.Norm(float64(a), float64(f)),
+					report.Delta(float64(a), float64(f)),
+					report.Delta(float64(a), float64(m)))
+				sumF += float64(a)/float64(f) - 1
+				sumM += float64(a)/float64(m) - 1
+			}
+			n := float64(len(s.lunNames()))
+			t.Note = "mean Across vs FTL " + report.Pct(sumF/n) + " (paper: -13.3%), vs MRSM " +
+				report.Pct(sumM/n) + " (paper: -24.6%)"
+			t.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+// fig12Experiment reports the mapping-table space and DRAM access overheads.
+func fig12Experiment() Experiment {
+	return Experiment{
+		ID:    "fig12",
+		Title: "Space (a) and time (b) overhead of the mapping structures",
+		Paper: "table sizes ~29-36MB for FTL; Across 1.4x, MRSM 2.4x; DRAM accesses: MRSM 32.6x FTL, Across-FTL within 1.1% of FTL",
+		Run: func(s *Session, w io.Writer) error {
+			results, err := s.comparison()
+			if err != nil {
+				return err
+			}
+			pb := s.Cfg.SSD.PageBytes
+			ta := report.New("Fig 12(a) Mapping table size (MB)",
+				"Trace", "FTL", "MRSM", "Across-FTL", "Across/FTL", "MRSM/FTL")
+			tb := report.New("Fig 12(b) DRAM access count (normalized to FTL)",
+				"Trace", "FTL (abs)", "MRSM", "Across-FTL")
+			for _, lun := range s.lunNames() {
+				f := results[runKey{sim.KindFTL, lun, pb}]
+				m := results[runKey{sim.KindMRSM, lun, pb}]
+				a := results[runKey{sim.KindAcross, lun, pb}]
+				mb := func(b int64) string { return report.F(float64(b)/(1<<20), 2) }
+				ta.Add(lun, mb(f.TableBytes), mb(m.TableBytes), mb(a.TableBytes),
+					report.F(float64(a.TableBytes)/float64(f.TableBytes), 2),
+					report.F(float64(m.TableBytes)/float64(f.TableBytes), 2))
+				tb.Add(lun, "("+report.N(f.Counters.DRAMAccesses)+")",
+					report.Norm(float64(m.Counters.DRAMAccesses), float64(f.Counters.DRAMAccesses)),
+					report.Norm(float64(a.Counters.DRAMAccesses), float64(f.Counters.DRAMAccesses)))
+			}
+			ta.RenderTo(w, s.Cfg.Format)
+			tb.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the handle used by cmd/experiments -run and the bench names
+	// ("table1", "fig9", ...).
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Paper summarises what the paper reports, for side-by-side reading.
+	Paper string
+	// Run renders the regenerated artifact.
+	Run func(s *Session, w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		table1Experiment(),
+		table2Experiment(),
+		fig2Experiment(),
+		fig4Experiment(),
+		fig8Experiment(),
+		fig9Experiment(),
+		fig10Experiment(),
+		fig11Experiment(),
+		fig12Experiment(),
+		fig13Experiment(),
+		fig14Experiment(),
+	}
+}
+
+// IDs lists the registered experiment ids (paper artifacts and extensions).
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range Extensions() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID resolves one experiment, searching paper artifacts then extensions.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	for _, e := range Extensions() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(s *Session, w io.Writer) error {
+	for _, e := range All() {
+		if err := runOne(e, s, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by id.
+func RunOne(id string, s *Session, w io.Writer) error {
+	e, err := ByID(id)
+	if err != nil {
+		return err
+	}
+	return runOne(e, s, w)
+}
+
+func runOne(e Experiment, s *Session, w io.Writer) error {
+	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+	if err := e.Run(s, w); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return nil
+}

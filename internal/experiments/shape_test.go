@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"testing"
+
+	"across/internal/sim"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// TestReproductionShapes is the regression harness for the reproduction
+// itself: it runs the three-scheme comparison at the quick scale and
+// asserts every *relative* claim of the paper's evaluation, per trace.
+// If a refactor silently changes who wins or by roughly what factor, this
+// test fails before the full harness is ever run.
+func TestReproductionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full comparison")
+	}
+	s := quickSession(t)
+	pb := s.Cfg.SSD.PageBytes
+	results, err := s.Results(pb, s.lunNames(), sim.Kinds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lun := range s.lunNames() {
+		f := results[runKey{sim.KindFTL, lun, pb}]
+		m := results[runKey{sim.KindMRSM, lun, pb}]
+		a := results[runKey{sim.KindAcross, lun, pb}]
+
+		// Fig 9: Across-FTL improves write, read and overall time vs FTL.
+		if a.AvgWriteLatency() >= f.AvgWriteLatency() {
+			t.Errorf("%s: Across write latency %.3f >= FTL %.3f", lun, a.AvgWriteLatency(), f.AvgWriteLatency())
+		}
+		if a.TotalIOTime() >= f.TotalIOTime() {
+			t.Errorf("%s: Across I/O time >= FTL", lun)
+		}
+		// Fig 9(c) magnitude band: the paper reports 4.6-11.6%; the tiny
+		// quick-scale geometry amplifies the effect, so allow 2-40%.
+		gain := 1 - a.TotalIOTime()/f.TotalIOTime()
+		if gain < 0.02 || gain > 0.40 {
+			t.Errorf("%s: overall I/O gain %.1f%% outside the plausible band", lun, 100*gain)
+		}
+
+		// Fig 10: flash writes FTL > Across; MRSM > both; map shares ordered.
+		if a.Counters.FlashWrites() >= f.Counters.FlashWrites() {
+			t.Errorf("%s: Across flash writes >= FTL", lun)
+		}
+		if m.Counters.FlashWrites() <= f.Counters.FlashWrites() {
+			t.Errorf("%s: MRSM flash writes <= FTL (paper: MRSM highest)", lun)
+		}
+		if m.Counters.MapWrites <= a.Counters.MapWrites {
+			t.Errorf("%s: MRSM map writes <= Across", lun)
+		}
+		if f.Counters.MapWrites != 0 || f.Counters.MapReads != 0 {
+			t.Errorf("%s: baseline FTL performed map I/O", lun)
+		}
+
+		// Fig 11: erases Across < FTL < MRSM.
+		if !(a.Counters.Erases < f.Counters.Erases && f.Counters.Erases < m.Counters.Erases) {
+			t.Errorf("%s: erase ordering broken: A=%d F=%d M=%d",
+				lun, a.Counters.Erases, f.Counters.Erases, m.Counters.Erases)
+		}
+
+		// Fig 12: table sizes FTL < Across < MRSM; DRAM MRSM >> others.
+		if !(f.TableBytes < a.TableBytes && a.TableBytes < m.TableBytes) {
+			t.Errorf("%s: table size ordering broken", lun)
+		}
+		if m.Counters.DRAMAccesses < 10*f.Counters.DRAMAccesses {
+			t.Errorf("%s: MRSM DRAM accesses only %.1fx FTL (paper ~32x)",
+				lun, float64(m.Counters.DRAMAccesses)/float64(f.Counters.DRAMAccesses))
+		}
+		ratio := float64(a.Counters.DRAMAccesses) / float64(f.Counters.DRAMAccesses)
+		if ratio > 1.1 || ratio < 0.8 {
+			t.Errorf("%s: Across DRAM accesses %.2fx FTL (paper ~1.0x)", lun, ratio)
+		}
+
+		// Fig 8: across census sanity.
+		if a.Across == nil || a.Across.AreasTouched() == 0 {
+			t.Errorf("%s: across census empty", lun)
+			continue
+		}
+		if rr := a.Across.RollbackRatio(); rr > 0.25 {
+			t.Errorf("%s: rollback ratio %.2f too high (paper 3.9%%)", lun, rr)
+		}
+		d, p, u := a.Across.ComponentShares()
+		if d+p < 0.7 {
+			t.Errorf("%s: profitable across writes only %.2f (paper ~91%%)", lun, d+p)
+		}
+		if u > 0.3 {
+			t.Errorf("%s: unprofitable share %.2f too high", lun, u)
+		}
+	}
+}
+
+// TestFig13ShapeMonotone asserts the page-size monotonicity on the actual
+// session traces (the harness only prints it).
+func TestFig13ShapeMonotone(t *testing.T) {
+	s := quickSession(t)
+	for _, p := range s.Luns() {
+		reqs, err := s.Trace(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4 := trace.Measure(reqs, 8).AcrossRatio()
+		r8 := trace.Measure(reqs, workload.RefSPP).AcrossRatio()
+		r16 := trace.Measure(reqs, 32).AcrossRatio()
+		if !(r4 >= r8 && r8 >= r16) {
+			t.Errorf("%s: across ratio not monotone: 4K=%.3f 8K=%.3f 16K=%.3f", p.Name, r4, r8, r16)
+		}
+	}
+}
+
+// TestFig14ShapeAcrossWinsAtEveryPageSize asserts the §4.3 takeaway on the
+// smallest page-size sweep.
+func TestFig14ShapeAcrossWinsAtEveryPageSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs nine replays")
+	}
+	s := quickSession(t)
+	luns := s.lunNames()[:2] // two traces keep it quick
+	for _, pb := range pageSizes {
+		results, err := s.Results(pb, luns, []sim.SchemeKind{sim.KindFTL, sim.KindAcross})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lun := range luns {
+			f := results[runKey{sim.KindFTL, lun, pb}]
+			a := results[runKey{sim.KindAcross, lun, pb}]
+			if a.TotalIOTime() >= f.TotalIOTime() {
+				t.Errorf("%s @%dKB: Across I/O time >= FTL", lun, pb/1024)
+			}
+			if a.Counters.Erases > f.Counters.Erases {
+				t.Errorf("%s @%dKB: Across erases > FTL", lun, pb/1024)
+			}
+		}
+	}
+}

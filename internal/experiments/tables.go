@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"io"
+
+	"across/internal/report"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// table1Experiment prints the simulator configuration next to the paper's
+// Table 1 settings.
+func table1Experiment() Experiment {
+	return Experiment{
+		ID:    "table1",
+		Title: "Experimental Settings of SSDsim (TLC cell)",
+		Paper: "262144 blocks, 64 pages/block, 8KB pages, GC threshold 10%, read 0.075ms, write 2ms, cache access 0.001ms",
+		Run: func(s *Session, w io.Writer) error {
+			full := ssdconf.Table1()
+			cur := s.Cfg.SSD
+			t := report.New("Table 1 (reproduced)", "Parameter", "Paper", "This run")
+			t.Addf("Block number", full.BlocksTotal(), cur.BlocksTotal())
+			t.Addf("Pages per block", full.PagesPerBlock, cur.PagesPerBlock)
+			t.Addf("Page size (KB)", full.PageBytes/1024, cur.PageBytes/1024)
+			t.Addf("GC threshold", report.Pct(full.GCThreshold), report.Pct(cur.GCThreshold))
+			t.Addf("Read time (ms)", full.ReadTime, cur.ReadTime)
+			t.Addf("Write time (ms)", full.ProgramTime, cur.ProgramTime)
+			t.Addf("Cache access (ms)", full.CacheAccess, cur.CacheAccess)
+			t.Addf("Erase time (ms)", full.EraseTime, cur.EraseTime)
+			t.Addf("Raw capacity (GiB)", full.PhysBytes()>>30, cur.PhysBytes()>>30)
+			t.Note = "\"This run\" uses the shape-preserving scaled geometry unless -full is given; " +
+				"timing, page geometry and GC threshold always equal Table 1."
+			t.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+// table2Experiment prints the specification of the six replayed traces —
+// targets from the paper and the statistics the generated traces actually
+// measure.
+func table2Experiment() Experiment {
+	return Experiment{
+		ID:    "table2",
+		Title: "Specifications on Selected Traces (8KB page size)",
+		Paper: "lun1-lun6: 0.6-0.9M requests, write ratios 34.7-61.5%, write sizes 7.6-11.3KB, across ratios 16.4-27.5%",
+		Run: func(s *Session, w io.Writer) error {
+			t := report.New("Table 2 (reproduced; paper value -> measured on generated trace)",
+				"Trace", "# of Req.", "Write R", "Write SZ (KB)", "Across R")
+			for _, p := range s.Luns() {
+				reqs, err := s.Trace(p)
+				if err != nil {
+					return err
+				}
+				st := trace.Measure(reqs, workload.RefSPP)
+				full, _ := workload.LunProfile(p.Name)
+				t.Add(p.Name,
+					report.N(int64(full.Requests))+" -> "+report.N(st.Requests),
+					report.Pct(p.WriteRatio)+" -> "+report.Pct(st.WriteRatio()),
+					report.F(p.AvgWriteKB, 1)+" -> "+report.F(st.AvgWriteKB(), 1),
+					report.Pct(p.AcrossRatio)+" -> "+report.Pct(st.AcrossRatio()))
+			}
+			t.Note = "request counts are scaled by the session's Scale factor; ratios are measured on the synthetic traces."
+			t.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+// fig2Experiment regenerates the across-page ratio sweep over the trace
+// collection.
+func fig2Experiment() Experiment {
+	return Experiment{
+		ID:    "fig2",
+		Title: "Across-page access ratio of the LUN collection (8KB pages)",
+		Paper: "a significant portion of requests are across-page; ratios spread up to ~0.38 over 61 traces",
+		Run: func(s *Session, w io.Writer) error {
+			t := report.New("Fig 2 (reproduced)", "Trace", "Across-page ratio")
+			lo, hi, sum := 1.0, 0.0, 0.0
+			col := workload.Collection(s.Cfg.CollectionSize)
+			for _, p := range col {
+				reqs, err := workload.Generate(p, s.Cfg.SSD.LogicalSectors())
+				if err != nil {
+					return err
+				}
+				ar := trace.Measure(reqs, workload.RefSPP).AcrossRatio()
+				t.Add(p.Name, report.F(ar, 3))
+				sum += ar
+				if ar < lo {
+					lo = ar
+				}
+				if ar > hi {
+					hi = ar
+				}
+			}
+			t.Note = "min " + report.F(lo, 3) + ", mean " + report.F(sum/float64(len(col)), 3) +
+				", max " + report.F(hi, 3)
+			t.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}
+
+// fig13Experiment measures the across ratio of the fixed traces at 4, 8 and
+// 16 KB pages.
+func fig13Experiment() Experiment {
+	return Experiment{
+		ID:    "fig13",
+		Title: "Across-page access ratio with varied flash page sizes",
+		Paper: "the across-page ratio keeps decreasing as the page grows (4KB > 8KB > 16KB)",
+		Run: func(s *Session, w io.Writer) error {
+			t := report.New("Fig 13 (reproduced)", "Trace", "4KB", "8KB", "16KB")
+			for _, p := range s.Luns() {
+				reqs, err := s.Trace(p)
+				if err != nil {
+					return err
+				}
+				t.Add(p.Name,
+					report.F(trace.Measure(reqs, 8).AcrossRatio(), 3),
+					report.F(trace.Measure(reqs, 16).AcrossRatio(), 3),
+					report.F(trace.Measure(reqs, 32).AcrossRatio(), 3))
+			}
+			t.RenderTo(w, s.Cfg.Format)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,263 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"across/internal/ssdconf"
+)
+
+// PageState is the lifecycle state of one physical page.
+type PageState uint8
+
+const (
+	// PageFree: erased and programmable (subject to in-order programming).
+	PageFree PageState = iota
+	// PageValid: programmed and holding live data.
+	PageValid
+	// PageInvalid: programmed but superseded; space reclaimed only by erase.
+	PageInvalid
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("PageState(%d)", uint8(s))
+}
+
+// Errors returned by array operations. Schemes treat these as programming
+// bugs (the FTL must never issue an illegal NAND command), so tests assert
+// on them directly.
+var (
+	ErrProgramOutOfOrder  = errors.New("flash: program out of order within block")
+	ErrProgramNotFree     = errors.New("flash: programming a non-free page")
+	ErrReadUnwritten      = errors.New("flash: reading an unwritten page")
+	ErrEraseWithValid     = errors.New("flash: erasing a block with valid pages")
+	ErrInvalidateNotValid = errors.New("flash: invalidating a non-valid page")
+)
+
+// Tag is the out-of-band metadata programmed with a page. Garbage collection
+// reads it back to find the owner of a live page so the owning mapping
+// structure can be updated after migration, and power-loss recovery scans it
+// to rebuild the mapping tables at mount time. The interpretation of the
+// fields is up to the FTL scheme (see ftl.TagKind).
+type Tag struct {
+	Kind uint8 // owner namespace (data page, across-area page, map page, ...)
+	Key  int64 // owner key within the namespace (LPN, AMT index, map page id)
+	Aux  int64 // scheme-specific extra (Across-FTL packs LPN/Off/Size here)
+}
+
+// NilTag is stored on free pages.
+var NilTag = Tag{Kind: 0xFF, Key: -1}
+
+// block is the per-block metadata: page states, OOB tags, the in-order
+// program cursor and the erase counter.
+type block struct {
+	state      []PageState
+	tags       []Tag
+	writePtr   int   // next programmable page index; == len(state) when full
+	validCount int   // pages in PageValid
+	eraseCount int64 // endurance metric
+}
+
+// Array is the NAND flash array: pure state machine, no timing. Timing and
+// operation counting live in the ftl.Device facade so that the same array
+// can be driven by warm-up (untimed) and measured phases.
+type Array struct {
+	Geo    Geometry
+	blocks []block
+
+	erases int64 // total erase operations (the paper's endurance metric)
+}
+
+// NewArray builds an erased flash array for the configuration.
+func NewArray(c *ssdconf.Config) (*Array, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	geo := NewGeometry(c)
+	a := &Array{Geo: geo, blocks: make([]block, geo.TotalBlocks())}
+	for i := range a.blocks {
+		a.blocks[i] = block{
+			state: make([]PageState, geo.PagesPerBlock),
+			tags:  make([]Tag, geo.PagesPerBlock),
+		}
+		for j := range a.blocks[i].tags {
+			a.blocks[i].tags[j] = NilTag
+		}
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray for tests and examples with known-good configs.
+func MustNewArray(c *ssdconf.Config) *Array {
+	a, err := NewArray(c)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// State returns the state of a page.
+func (a *Array) State(p PPN) PageState {
+	b := &a.blocks[a.Geo.BlockOf(p)]
+	return b.state[a.Geo.PageIndexOf(p)]
+}
+
+// TagOf returns the OOB tag of a page (NilTag if free).
+func (a *Array) TagOf(p PPN) Tag {
+	b := &a.blocks[a.Geo.BlockOf(p)]
+	return b.tags[a.Geo.PageIndexOf(p)]
+}
+
+// Program writes one page with the given OOB tag. NAND constraints are
+// enforced: the page must be free and must be the next page in its block's
+// program order.
+func (a *Array) Program(p PPN, tag Tag) error {
+	if err := a.Geo.CheckPPN(p); err != nil {
+		return err
+	}
+	b := &a.blocks[a.Geo.BlockOf(p)]
+	idx := a.Geo.PageIndexOf(p)
+	if b.state[idx] != PageFree {
+		return fmt.Errorf("%w: ppn %d is %v", ErrProgramNotFree, p, b.state[idx])
+	}
+	if idx != b.writePtr {
+		return fmt.Errorf("%w: ppn %d index %d, block cursor %d",
+			ErrProgramOutOfOrder, p, idx, b.writePtr)
+	}
+	b.state[idx] = PageValid
+	b.tags[idx] = tag
+	b.writePtr++
+	b.validCount++
+	return nil
+}
+
+// Read checks that a page holds data (valid or stale). Reading invalid pages
+// is physically possible and the merged-read path of Across-FTL never does
+// it, but GC-era diagnostics may; only unwritten pages are an error.
+func (a *Array) Read(p PPN) error {
+	if err := a.Geo.CheckPPN(p); err != nil {
+		return err
+	}
+	if a.State(p) == PageFree {
+		return fmt.Errorf("%w: ppn %d", ErrReadUnwritten, p)
+	}
+	return nil
+}
+
+// Invalidate marks a previously valid page as superseded.
+func (a *Array) Invalidate(p PPN) error {
+	if err := a.Geo.CheckPPN(p); err != nil {
+		return err
+	}
+	b := &a.blocks[a.Geo.BlockOf(p)]
+	idx := a.Geo.PageIndexOf(p)
+	if b.state[idx] != PageValid {
+		return fmt.Errorf("%w: ppn %d is %v", ErrInvalidateNotValid, p, b.state[idx])
+	}
+	b.state[idx] = PageInvalid
+	b.tags[idx] = NilTag
+	b.validCount--
+	return nil
+}
+
+// Erase resets a block to all-free. The FTL must migrate valid pages first;
+// erasing live data is refused.
+func (a *Array) Erase(bid BlockID) error {
+	if err := a.Geo.CheckBlock(bid); err != nil {
+		return err
+	}
+	b := &a.blocks[bid]
+	if b.validCount != 0 {
+		return fmt.Errorf("%w: block %d has %d valid pages", ErrEraseWithValid, bid, b.validCount)
+	}
+	for i := range b.state {
+		b.state[i] = PageFree
+		b.tags[i] = NilTag
+	}
+	b.writePtr = 0
+	b.eraseCount++
+	a.erases++
+	return nil
+}
+
+// ValidCount returns the number of valid pages in a block (the GC victim
+// metric).
+func (a *Array) ValidCount(bid BlockID) int { return a.blocks[bid].validCount }
+
+// WritePtr returns the block's program cursor; PagesPerBlock means full.
+func (a *Array) WritePtr(bid BlockID) int { return a.blocks[bid].writePtr }
+
+// FreeInBlock returns the number of still-programmable pages in a block.
+func (a *Array) FreeInBlock(bid BlockID) int { return a.Geo.PagesPerBlock - a.blocks[bid].writePtr }
+
+// EraseCount returns a block's erase counter.
+func (a *Array) EraseCount(bid BlockID) int64 { return a.blocks[bid].eraseCount }
+
+// TotalErases returns the device-wide erase count — the endurance indicator
+// reported in Figs 11 and 14(b).
+func (a *Array) TotalErases() int64 { return a.erases }
+
+// CountStates tallies page states over the whole device; used by aging and
+// by tests.
+func (a *Array) CountStates() (free, valid, invalid int64) {
+	for i := range a.blocks {
+		b := &a.blocks[i]
+		free += int64(len(b.state) - b.writePtr)
+		valid += int64(b.validCount)
+		invalid += int64(b.writePtr - b.validCount)
+	}
+	return
+}
+
+// WearStats summarises per-block erase counters: the wear-levelling view
+// of the endurance metric (mean, spread, extremes over all blocks).
+func (a *Array) WearStats() (mean, stddev float64, min, max int64) {
+	if len(a.blocks) == 0 {
+		return 0, 0, 0, 0
+	}
+	min = a.blocks[0].eraseCount
+	max = min
+	var sum float64
+	for i := range a.blocks {
+		e := a.blocks[i].eraseCount
+		sum += float64(e)
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	mean = sum / float64(len(a.blocks))
+	var ss float64
+	for i := range a.blocks {
+		d := float64(a.blocks[i].eraseCount) - mean
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(len(a.blocks)))
+	return mean, stddev, min, max
+}
+
+// ValidPages lists the PPNs of valid pages in a block in program order,
+// with their tags. GC uses it to migrate live data.
+func (a *Array) ValidPages(bid BlockID) []PPN {
+	b := &a.blocks[bid]
+	var out []PPN
+	first := a.Geo.FirstPage(bid)
+	for i := 0; i < b.writePtr; i++ {
+		if b.state[i] == PageValid {
+			out = append(out, first+PPN(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package flash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"across/internal/ssdconf"
+)
+
+func tinyArray(t *testing.T) *Array {
+	t.Helper()
+	c := ssdconf.Tiny()
+	a, err := NewArray(&c)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	return a
+}
+
+func TestNewArrayRejectsInvalidConfig(t *testing.T) {
+	c := ssdconf.Tiny()
+	c.Channels = 0
+	if _, err := NewArray(&c); err == nil {
+		t.Fatal("NewArray accepted invalid config")
+	}
+}
+
+func TestProgramReadInvalidateEraseCycle(t *testing.T) {
+	a := tinyArray(t)
+	p := PPN(0)
+	if got := a.State(p); got != PageFree {
+		t.Fatalf("initial state = %v, want free", got)
+	}
+	if err := a.Read(p); !errors.Is(err, ErrReadUnwritten) {
+		t.Fatalf("Read(free) err = %v, want ErrReadUnwritten", err)
+	}
+	tag := Tag{Kind: 1, Key: 42}
+	if err := a.Program(p, tag); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if got := a.State(p); got != PageValid {
+		t.Fatalf("state after program = %v, want valid", got)
+	}
+	if got := a.TagOf(p); got != tag {
+		t.Fatalf("tag = %+v, want %+v", got, tag)
+	}
+	if err := a.Read(p); err != nil {
+		t.Fatalf("Read(valid): %v", err)
+	}
+	if err := a.Invalidate(p); err != nil {
+		t.Fatalf("Invalidate: %v", err)
+	}
+	if got := a.State(p); got != PageInvalid {
+		t.Fatalf("state after invalidate = %v, want invalid", got)
+	}
+	// Reading stale (invalid) data is allowed; re-invalidating is not.
+	if err := a.Read(p); err != nil {
+		t.Fatalf("Read(invalid): %v", err)
+	}
+	if err := a.Invalidate(p); !errors.Is(err, ErrInvalidateNotValid) {
+		t.Fatalf("double Invalidate err = %v, want ErrInvalidateNotValid", err)
+	}
+	bid := a.Geo.BlockOf(p)
+	if err := a.Erase(bid); err != nil {
+		t.Fatalf("Erase: %v", err)
+	}
+	if got := a.State(p); got != PageFree {
+		t.Fatalf("state after erase = %v, want free", got)
+	}
+	if got := a.EraseCount(bid); got != 1 {
+		t.Fatalf("EraseCount = %d, want 1", got)
+	}
+	if got := a.TotalErases(); got != 1 {
+		t.Fatalf("TotalErases = %d, want 1", got)
+	}
+}
+
+func TestProgramEnforcesOrderWithinBlock(t *testing.T) {
+	a := tinyArray(t)
+	// Page 1 before page 0 must fail.
+	if err := a.Program(PPN(1), Tag{}); !errors.Is(err, ErrProgramOutOfOrder) {
+		t.Fatalf("out-of-order program err = %v, want ErrProgramOutOfOrder", err)
+	}
+	if err := a.Program(PPN(0), Tag{}); err != nil {
+		t.Fatalf("Program(0): %v", err)
+	}
+	if err := a.Program(PPN(0), Tag{}); !errors.Is(err, ErrProgramNotFree) {
+		t.Fatalf("reprogram err = %v, want ErrProgramNotFree", err)
+	}
+	if err := a.Program(PPN(1), Tag{}); err != nil {
+		t.Fatalf("Program(1): %v", err)
+	}
+}
+
+func TestEraseRefusesLiveData(t *testing.T) {
+	a := tinyArray(t)
+	if err := a.Program(PPN(0), Tag{Kind: 1, Key: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Erase(0); !errors.Is(err, ErrEraseWithValid) {
+		t.Fatalf("Erase(live) err = %v, want ErrEraseWithValid", err)
+	}
+	if err := a.Invalidate(PPN(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Erase(0); err != nil {
+		t.Fatalf("Erase after invalidate: %v", err)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	a := tinyArray(t)
+	bad := PPN(a.Geo.TotalPages())
+	if err := a.Program(bad, Tag{}); err == nil {
+		t.Error("Program out of range accepted")
+	}
+	if err := a.Read(-1); err == nil {
+		t.Error("Read(-1) accepted")
+	}
+	if err := a.Invalidate(bad); err == nil {
+		t.Error("Invalidate out of range accepted")
+	}
+	if err := a.Erase(BlockID(a.Geo.TotalBlocks())); err == nil {
+		t.Error("Erase out of range accepted")
+	}
+}
+
+func TestValidPagesListsProgramOrder(t *testing.T) {
+	a := tinyArray(t)
+	for i := 0; i < 4; i++ {
+		if err := a.Program(PPN(i), Tag{Kind: 1, Key: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Invalidate(PPN(1)); err != nil {
+		t.Fatal(err)
+	}
+	got := a.ValidPages(0)
+	want := []PPN{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ValidPages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ValidPages = %v, want %v", got, want)
+		}
+	}
+	if a.ValidCount(0) != 3 {
+		t.Fatalf("ValidCount = %d, want 3", a.ValidCount(0))
+	}
+	if a.FreeInBlock(0) != a.Geo.PagesPerBlock-4 {
+		t.Fatalf("FreeInBlock = %d, want %d", a.FreeInBlock(0), a.Geo.PagesPerBlock-4)
+	}
+}
+
+func TestCountStatesAccounting(t *testing.T) {
+	a := tinyArray(t)
+	total := a.Geo.TotalPages()
+	free, valid, invalid := a.CountStates()
+	if free != total || valid != 0 || invalid != 0 {
+		t.Fatalf("fresh array states = (%d,%d,%d), want (%d,0,0)", free, valid, invalid, total)
+	}
+	for i := 0; i < 6; i++ {
+		if err := a.Program(PPN(i), Tag{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := a.Invalidate(PPN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free, valid, invalid = a.CountStates()
+	if free != total-6 || valid != 4 || invalid != 2 {
+		t.Fatalf("states = (%d,%d,%d), want (%d,4,2)", free, valid, invalid, total-6)
+	}
+}
+
+// TestRandomOpSequenceInvariants drives the array with random legal
+// operations and checks, after every step, that per-block accounting agrees
+// with a brute-force recount. This is the state-machine soundness property.
+func TestRandomOpSequenceInvariants(t *testing.T) {
+	c := ssdconf.Tiny()
+	a := MustNewArray(&c)
+	rng := rand.New(rand.NewSource(7))
+	live := map[PPN]bool{}
+
+	recount := func(bid BlockID) (valid, written int) {
+		first := a.Geo.FirstPage(bid)
+		for i := 0; i < a.Geo.PagesPerBlock; i++ {
+			switch a.State(first + PPN(i)) {
+			case PageValid:
+				valid++
+				written++
+			case PageInvalid:
+				written++
+			}
+		}
+		return
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(3) {
+		case 0: // program the next page of a random non-full block
+			bid := BlockID(rng.Int63n(a.Geo.TotalBlocks()))
+			if a.WritePtr(bid) < a.Geo.PagesPerBlock {
+				p := a.Geo.FirstPage(bid) + PPN(a.WritePtr(bid))
+				if err := a.Program(p, Tag{Kind: 1, Key: int64(step)}); err != nil {
+					t.Fatalf("step %d Program: %v", step, err)
+				}
+				live[p] = true
+			}
+		case 1: // invalidate a random live page
+			for p := range live {
+				if err := a.Invalidate(p); err != nil {
+					t.Fatalf("step %d Invalidate: %v", step, err)
+				}
+				delete(live, p)
+				break
+			}
+		case 2: // erase a random block with no live pages
+			bid := BlockID(rng.Int63n(a.Geo.TotalBlocks()))
+			if a.ValidCount(bid) == 0 && a.WritePtr(bid) > 0 {
+				if err := a.Erase(bid); err != nil {
+					t.Fatalf("step %d Erase: %v", step, err)
+				}
+			}
+		}
+		// Spot-check a random block's accounting against a recount.
+		bid := BlockID(rng.Int63n(a.Geo.TotalBlocks()))
+		valid, written := recount(bid)
+		if a.ValidCount(bid) != valid {
+			t.Fatalf("step %d block %d ValidCount=%d recount=%d", step, bid, a.ValidCount(bid), valid)
+		}
+		if a.WritePtr(bid) != written {
+			t.Fatalf("step %d block %d WritePtr=%d recount=%d", step, bid, a.WritePtr(bid), written)
+		}
+	}
+}
+
+// TestGeometryRoundTrip checks PPN <-> (block, index) <-> plane <-> chip
+// arithmetic for arbitrary pages of arbitrary geometries.
+func TestGeometryRoundTrip(t *testing.T) {
+	f := func(chSeed, blkSeed uint8, pageSeed uint16) bool {
+		c := ssdconf.Tiny()
+		c.Channels = int(chSeed%4) + 1
+		c.BlocksPerPlane = int(blkSeed%32) + 2
+		g := NewGeometry(&c)
+		p := PPN(int64(pageSeed) % g.TotalPages())
+		bid := g.BlockOf(p)
+		if g.FirstPage(bid)+PPN(g.PageIndexOf(p)) != p {
+			return false
+		}
+		pl := g.PlaneOf(p)
+		lo, hi := g.BlocksOfPlane(pl)
+		if bid < lo || bid >= hi {
+			return false
+		}
+		chip := g.ChipOf(p)
+		return chip >= 0 && int(chip) < g.Chips
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if PageFree.String() != "free" || PageValid.String() != "valid" || PageInvalid.String() != "invalid" {
+		t.Error("PageState.String mismatch")
+	}
+	if PageState(9).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}

@@ -1,0 +1,100 @@
+package ftl
+
+import (
+	"across/internal/flash"
+	"across/internal/mapping"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+// Base bundles the state every scheme shares: device, allocator, page
+// mapping table, and derived geometry. Schemes embed it.
+type Base struct {
+	Conf *ssdconf.Config
+	Dev  *Device
+	Al   *Allocator
+	PMT  *mapping.PMT
+	SPP  int // sectors per page
+}
+
+// NewBase wires a fresh device, allocator and PMT for a configuration.
+func NewBase(conf *ssdconf.Config) (Base, error) {
+	dev, err := NewDevice(conf)
+	if err != nil {
+		return Base{}, err
+	}
+	b := Base{
+		Conf: conf,
+		Dev:  dev,
+		Al:   NewAllocator(dev, nil),
+		PMT:  mapping.NewPMT(conf.LogicalPages()),
+		SPP:  conf.SectorsPerPage(),
+	}
+	return b, nil
+}
+
+// Device implements part of the Scheme interface.
+func (b *Base) Device() *Device { return b.Dev }
+
+// CheckRequest validates a request against the device's logical size.
+func (b *Base) CheckRequest(r trace.Request) error {
+	return r.Validate(b.Conf.LogicalSectors())
+}
+
+// PageSlice is one logical page's share of a request: the touched sector
+// range [Start, End) expressed page-relative.
+type PageSlice struct {
+	LPN   int64
+	Start int // first touched sector within the page
+	End   int // exclusive end sector within the page
+}
+
+// Full reports whether the slice covers the whole page.
+func (ps PageSlice) Full(spp int) bool { return ps.Start == 0 && ps.End == spp }
+
+// Split cuts a request into per-page slices, the "sub-requests" of §2.1.
+func (b *Base) Split(r trace.Request) []PageSlice {
+	spp := int64(b.SPP)
+	first, last := r.FirstLPN(b.SPP), r.LastLPN(b.SPP)
+	out := make([]PageSlice, 0, last-first+1)
+	for lpn := first; lpn <= last; lpn++ {
+		ps := PageSlice{LPN: lpn, Start: 0, End: b.SPP}
+		if lpn == first {
+			ps.Start = int(r.Offset - lpn*spp)
+		}
+		if lpn == last {
+			ps.End = int(r.End() - lpn*spp)
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// ProgramData allocates and programs one data page owned by lpn at time
+// issue, updating the PMT and invalidating the superseded page. It returns
+// the program completion time.
+func (b *Base) ProgramData(lpn int64, issue float64) (float64, error) {
+	ppn, err := b.Al.AllocPage(issue)
+	if err != nil {
+		return issue, err
+	}
+	done, err := b.Dev.Program(ppn, flash.Tag{Kind: TagData, Key: lpn}, issue, OpData)
+	if err != nil {
+		return issue, err
+	}
+	if old := b.PMT.SetPPN(lpn, ppn); old != flash.NilPPN {
+		if err := b.Dev.Invalidate(old); err != nil {
+			return issue, err
+		}
+	}
+	return done, nil
+}
+
+// MigrateData is the TagData arm every scheme's migration callback shares:
+// it repoints the PMT entry that owns a GC-moved page.
+func (b *Base) MigrateData(tag flash.Tag, old, new flash.PPN) {
+	if b.PMT.PPNOf(tag.Key) != old {
+		panic("ftl: GC moved a data page the PMT does not own")
+	}
+	b.PMT.SetPPN(tag.Key, new)
+}

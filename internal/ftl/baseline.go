@@ -1,0 +1,101 @@
+package ftl
+
+import (
+	"across/internal/clock"
+	"across/internal/flash"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+// Baseline is the conventional dynamic page-level mapping FTL ("FTL" in the
+// paper's comparison): requests split into page-sized sub-requests, partial
+// pages are serviced with read-modify-write, and the full mapping table
+// resides in DRAM so it generates no Map flash traffic. Across-page requests
+// therefore cost two flash programs (and up to two RMW reads) — the penalty
+// quantified in Fig 4 and removed by Across-FTL.
+type Baseline struct {
+	Base
+}
+
+// NewBaseline builds the baseline scheme on a fresh device.
+func NewBaseline(conf *ssdconf.Config) (*Baseline, error) {
+	base, err := NewBase(conf)
+	if err != nil {
+		return nil, err
+	}
+	s := &Baseline{Base: base}
+	s.Al.SetMigrate(s.migrate)
+	return s, nil
+}
+
+// Name implements Scheme.
+func (s *Baseline) Name() string { return "FTL" }
+
+// TableBytes implements Scheme: one entry per logical page, all in DRAM.
+func (s *Baseline) TableBytes() int64 {
+	return s.PMT.Len() * int64(s.Conf.MapEntryBytes)
+}
+
+func (s *Baseline) migrate(tag flash.Tag, old, new flash.PPN) {
+	switch tag.Kind {
+	case TagData:
+		s.MigrateData(tag, old, new)
+	default:
+		panic("ftl: baseline GC met a foreign page tag")
+	}
+}
+
+// Write implements Scheme. Each page slice costs one PMT access; partial
+// slices of already-written pages read the old page first (RMW), then every
+// slice programs one full page.
+func (s *Baseline) Write(r trace.Request, now float64) (float64, error) {
+	if err := s.CheckRequest(r); err != nil {
+		return now, err
+	}
+	join := clock.NewJoin(now)
+	var mapDelay float64
+	for _, ps := range s.Split(r) {
+		mapDelay += s.Dev.DRAMAccess(1) // PMT lookup + update
+		issue := now
+		if old := s.PMT.PPNOf(ps.LPN); old != flash.NilPPN && !ps.Full(s.SPP) {
+			rdone, err := s.Dev.Read(old, now, OpData)
+			if err != nil {
+				return now, errf(s.Name(), err, "rmw read lpn %d", ps.LPN)
+			}
+			issue = rdone
+		}
+		done, err := s.ProgramData(ps.LPN, issue)
+		if err != nil {
+			return now, errf(s.Name(), err, "program lpn %d", ps.LPN)
+		}
+		join.Add(done)
+	}
+	join.AddDelay(mapDelay)
+	return join.Done(), nil
+}
+
+// Read implements Scheme. Each mapped page slice costs one flash read;
+// never-written pages return zeroes from the controller without flash work.
+func (s *Baseline) Read(r trace.Request, now float64) (float64, error) {
+	if err := s.CheckRequest(r); err != nil {
+		return now, err
+	}
+	join := clock.NewJoin(now)
+	var mapDelay float64
+	for _, ps := range s.Split(r) {
+		mapDelay += s.Dev.DRAMAccess(1)
+		ppn := s.PMT.PPNOf(ps.LPN)
+		if ppn == flash.NilPPN {
+			continue
+		}
+		done, err := s.Dev.Read(ppn, now, OpData)
+		if err != nil {
+			return now, errf(s.Name(), err, "read lpn %d", ps.LPN)
+		}
+		join.Add(done)
+	}
+	join.AddDelay(mapDelay)
+	return join.Done(), nil
+}
+
+var _ Scheme = (*Baseline)(nil)

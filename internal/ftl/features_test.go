@@ -1,0 +1,284 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"across/internal/flash"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+func TestTransferTimeExtendsOps(t *testing.T) {
+	c := ssdconf.Tiny()
+	c.TransferTime = 0.5
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.CacheAccess + c.ProgramTime + c.TransferTime
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("write completion = %v, want %v (program + transfer)", done, want)
+	}
+	rdone, err := s.Read(trace.Request{Op: trace.OpRead, Offset: 0, Count: 16}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 100 + c.CacheAccess + c.ReadTime + c.TransferTime
+	if rdone < want-1e-9 || rdone > want+1e-9 {
+		t.Fatalf("read completion = %v, want %v", rdone, want)
+	}
+}
+
+func TestNegativeTransferTimeRejected(t *testing.T) {
+	c := ssdconf.Tiny()
+	c.TransferTime = -1
+	if _, err := NewBaseline(&c); err == nil {
+		t.Fatal("negative TransferTime accepted")
+	}
+}
+
+func TestProgramScaledValidatesFraction(t *testing.T) {
+	c := ssdconf.Tiny()
+	dev, err := NewDevice(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		if _, err := dev.ProgramScaled(0, flash.Tag{}, 0, OpData, frac); err == nil {
+			t.Errorf("fraction %v accepted", frac)
+		}
+	}
+	done, err := dev.ProgramScaled(0, flash.Tag{Kind: TagData, Key: 0}, 0, OpData, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (c.ProgramTime + c.TransferTime) * 0.25
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("scaled program = %v, want %v", done, want)
+	}
+}
+
+// churn drives a baseline scheme with page-aligned overwrites until GC has
+// cycled a few times.
+func churn(t *testing.T, s *Baseline, c *ssdconf.Config, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pages := c.LogicalSectors() / int64(c.SectorsPerPage()) / 2
+	for i := 0; i < n; i++ {
+		lpn := rng.Int63n(pages)
+		r := trace.Request{Op: trace.OpWrite, Offset: lpn * int64(c.SectorsPerPage()), Count: c.SectorsPerPage()}
+		if _, err := s.Write(r, float64(i)); err != nil {
+			t.Fatalf("churn write %d: %v", i, err)
+		}
+	}
+}
+
+func TestPartialGCBoundsVictimsPerInvocation(t *testing.T) {
+	c := ssdconf.Tiny()
+	run := func(maxVictims int) (invocations int64, erases int64, maxBurst int) {
+		s, err := NewBaseline(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst := 0
+		s.Al.gcVictims = func(flash.PlaneID) { burst++ }
+		s.Al.SetMaxVictimsPerGC(maxVictims)
+		// Count victims per AllocPage call via the test hook: reset burst
+		// around each write by sampling the max delta.
+		prev := 0
+		rng := rand.New(rand.NewSource(11))
+		pages := c.LogicalSectors() / 16 / 2
+		for i := 0; i < 4000; i++ {
+			lpn := rng.Int63n(pages)
+			if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if d := burst - prev; d > maxBurst {
+				maxBurst = d
+			}
+			prev = burst
+		}
+		return s.Dev.Count.GCInvocations, s.Dev.Count.Erases, maxBurst
+	}
+	_, erasesFull, _ := run(0)
+	_, erasesPartial, burstPartial := run(1)
+	if burstPartial > 2 {
+		// One write can allocate 1 page => at most 1 GC invocation with
+		// maxVictims=1, but a write of 2 pages may trigger 2.
+		t.Fatalf("partial GC burst = %d victims within one request, want <= 2", burstPartial)
+	}
+	// Total reclamation work is conserved within a reasonable margin.
+	if erasesPartial > erasesFull*2 || erasesFull > erasesPartial*2 {
+		t.Fatalf("erase totals diverged: full=%d partial=%d", erasesFull, erasesPartial)
+	}
+}
+
+func TestFIFOVictimPolicyStillReclaims(t *testing.T) {
+	c := ssdconf.Tiny()
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Al.SetVictimPolicy(VictimFIFO)
+	churn(t, s, &c, 4000, 3)
+	if s.Dev.Count.Erases == 0 {
+		t.Fatal("FIFO policy never erased")
+	}
+	// FIFO ignores valid counts, so it must migrate at least as much as
+	// greedy would; just assert the device stayed healthy.
+	free, _, _ := s.Dev.Array.CountStates()
+	if free <= 0 {
+		t.Fatal("device wedged under FIFO policy")
+	}
+}
+
+func TestWearStatsTracksSpread(t *testing.T) {
+	c := ssdconf.Tiny()
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, sd, lo, hi := s.Dev.Array.WearStats()
+	if mean != 0 || sd != 0 || lo != 0 || hi != 0 {
+		t.Fatal("fresh device has wear")
+	}
+	churn(t, s, &c, 5000, 7)
+	mean, sd, lo, hi = s.Dev.Array.WearStats()
+	if mean <= 0 || hi <= 0 {
+		t.Fatalf("no wear recorded after churn: mean=%v hi=%d", mean, hi)
+	}
+	if lo > hi || float64(lo) > mean || mean > float64(hi) {
+		t.Fatalf("wear ordering broken: lo=%d mean=%v hi=%d", lo, mean, hi)
+	}
+	if sd < 0 {
+		t.Fatalf("negative stddev %v", sd)
+	}
+	// Greedy GC without wear levelling leaves a spread.
+	if hi == lo {
+		t.Log("note: perfectly even wear (unusual but not wrong)")
+	}
+}
+
+func TestWearLevelingNarrowsSpread(t *testing.T) {
+	c := ssdconf.Tiny()
+	run := func(wl bool) (spread int64, sd float64) {
+		s, err := NewBaseline(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Al.SetWearLeveling(wl)
+		// A skewed workload: hammer a tiny hot set so some blocks churn
+		// constantly while others hold cold data.
+		for lpn := int64(0); lpn < 40; lpn++ {
+			if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 8000; i++ {
+			lpn := rng.Int63n(8)
+			if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, stddev, lo, hi := s.Dev.Array.WearStats()
+		return hi - lo, stddev
+	}
+	spreadOff, sdOff := run(false)
+	spreadOn, sdOn := run(true)
+	if spreadOn > spreadOff {
+		t.Errorf("wear levelling widened the spread: %d vs %d", spreadOn, spreadOff)
+	}
+	if sdOn > sdOff {
+		t.Errorf("wear levelling raised stddev: %.2f vs %.2f", sdOn, sdOff)
+	}
+}
+
+// TestAllocatorAccountingInvariant cross-checks the allocator's incremental
+// free-page counters against a full device recount under churn.
+func TestAllocatorAccountingInvariant(t *testing.T) {
+	c := ssdconf.Tiny()
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pages := c.LogicalSectors() / 16 / 2
+	for i := 0; i < 3000; i++ {
+		lpn := rng.Int63n(pages)
+		if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%251 == 0 {
+			free, _, _ := s.Dev.Array.CountStates()
+			if got := s.Al.TotalFreePages(); got != free {
+				t.Fatalf("step %d: allocator free=%d, device recount=%d", i, got, free)
+			}
+		}
+	}
+}
+
+func TestChannelBusContention(t *testing.T) {
+	// Two chips on one channel: with TransferTime modelled, two
+	// simultaneous programs to different chips serialise their transfers
+	// on the shared bus, but the cell programs overlap.
+	c := ssdconf.Tiny()
+	c.Channels = 1
+	c.ChipsPerChan = 2
+	c.TransferTime = 0.5
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-page aligned write stripes across the two chips.
+	done, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First transfer [0, 0.5), program [0.5, 2.5); second transfer queues
+	// on the bus [0.5, 1.0), program [1.0, 3.0). Plus 2 cache accesses.
+	want := 3.0 + 2*c.CacheAccess
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("completion = %v, want %v (bus-serialised transfers)", done, want)
+	}
+	// Same write with two channels: transfers no longer contend.
+	c2 := ssdconf.Tiny()
+	c2.TransferTime = 0.5 // 2 channels x 1 chip
+	s2, err := NewBaseline(&c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := s2.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := 2.5 + 2*c2.CacheAccess
+	if done2 < want2-1e-9 || done2 > want2+1e-9 {
+		t.Fatalf("two-channel completion = %v, want %v", done2, want2)
+	}
+}
+
+func TestReadTransferFollowsCellRead(t *testing.T) {
+	c := ssdconf.Tiny()
+	c.TransferTime = 0.25
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 16}, 0); err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Read(trace.Request{Op: trace.OpRead, Offset: 0, Count: 16}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + c.CacheAccess + c.ReadTime + c.TransferTime
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("read completion = %v, want %v", done, want)
+	}
+}

@@ -1,0 +1,366 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"across/internal/flash"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+func tinyBaseline(t *testing.T) (*Baseline, *ssdconf.Config) {
+	t.Helper()
+	c := ssdconf.Tiny()
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatalf("NewBaseline: %v", err)
+	}
+	return s, &c
+}
+
+func TestSplitSubRequests(t *testing.T) {
+	s, _ := tinyBaseline(t)
+	// write(1028K, 6K) on 8 KB pages: sectors [2056, 2068) -> LPN 128 [8,16),
+	// LPN 129 [0,4) — the Fig 3 example.
+	r := trace.Request{Op: trace.OpWrite, Offset: 2056, Count: 12}
+	got := s.Split(r)
+	want := []PageSlice{{LPN: 128, Start: 8, End: 16}, {LPN: 129, Start: 0, End: 4}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Split = %+v, want %+v", got, want)
+	}
+	if got[0].Full(16) || got[1].Full(16) {
+		t.Error("partial slices reported Full")
+	}
+	full := s.Split(trace.Request{Offset: 2048, Count: 16})
+	if len(full) != 1 || !full[0].Full(16) {
+		t.Errorf("aligned split = %+v, want one full slice", full)
+	}
+}
+
+// TestPaperFigure3AcrossWriteCost encodes the conventional-FTL workflow of
+// Fig 3: an across-page write triggers two separate flash programs.
+func TestPaperFigure3AcrossWriteCost(t *testing.T) {
+	s, _ := tinyBaseline(t)
+	r := trace.Request{Op: trace.OpWrite, Offset: 2056, Count: 12} // write(1028K, 6K)
+	if _, err := s.Write(r, 0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if got := s.Dev.Count.DataWrites; got != 2 {
+		t.Fatalf("flash programs = %d, want 2 (one per touched SSD page)", got)
+	}
+	// First-ever write: no old data, so no RMW reads.
+	if got := s.Dev.Count.DataReads; got != 0 {
+		t.Fatalf("flash reads = %d, want 0 on first write", got)
+	}
+	// Updating the same across-page range now RMWs both pages.
+	if _, err := s.Write(r, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dev.Count.DataWrites; got != 4 {
+		t.Fatalf("flash programs = %d, want 4", got)
+	}
+	if got := s.Dev.Count.DataReads; got != 2 {
+		t.Fatalf("RMW reads = %d, want 2", got)
+	}
+}
+
+func TestBaselineAlignedWriteNoRMW(t *testing.T) {
+	s, _ := tinyBaseline(t)
+	r := trace.Request{Op: trace.OpWrite, Offset: 2048, Count: 16}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Write(r, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Dev.Count.DataReads; got != 0 {
+		t.Fatalf("aligned overwrites caused %d RMW reads, want 0", got)
+	}
+	if got := s.Dev.Count.DataWrites; got != 3 {
+		t.Fatalf("writes = %d, want 3", got)
+	}
+}
+
+func TestBaselineReadUnwrittenIsFree(t *testing.T) {
+	s, _ := tinyBaseline(t)
+	done, err := s.Read(trace.Request{Op: trace.OpRead, Offset: 0, Count: 16}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dev.Count.DataReads != 0 {
+		t.Fatal("read of unwritten page touched flash")
+	}
+	if done < 5 {
+		t.Fatalf("done = %v before arrival", done)
+	}
+}
+
+func TestBaselineReadAfterWriteLatency(t *testing.T) {
+	s, c := tinyBaseline(t)
+	w := trace.Request{Op: trace.OpWrite, Offset: 0, Count: 16}
+	if _, err := s.Write(w, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Read far after the write: chip idle, latency = cache access + read.
+	done, err := s.Read(trace.Request{Op: trace.OpRead, Offset: 0, Count: 16}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 + c.CacheAccess + c.ReadTime
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("read completion = %v, want %v", done, want)
+	}
+}
+
+func TestWriteLatencyIncludesProgramTime(t *testing.T) {
+	s, c := tinyBaseline(t)
+	done, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.CacheAccess + c.ProgramTime
+	if done < want-1e-9 || done > want+1e-9 {
+		t.Fatalf("write completion = %v, want %v", done, want)
+	}
+}
+
+func TestMultiPageWriteFansOutAcrossChips(t *testing.T) {
+	s, c := tinyBaseline(t)
+	// Tiny config has 2 chips; a 2-page aligned write should program both
+	// pages in parallel, so completion ~ one program, not two.
+	done, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 32}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := 2 * c.ProgramTime
+	if done >= serial {
+		t.Fatalf("2-page write completed at %v; want parallel (< %v)", done, serial)
+	}
+}
+
+func TestBaselineRejectsOutOfBounds(t *testing.T) {
+	s, c := tinyBaseline(t)
+	r := trace.Request{Op: trace.OpWrite, Offset: c.LogicalSectors(), Count: 8}
+	if _, err := s.Write(r, 0); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if _, err := s.Read(r, 0); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if _, err := s.Write(trace.Request{Count: 0}, 0); err == nil {
+		t.Fatal("zero-count write accepted")
+	}
+}
+
+func TestGCReclaimsSpaceUnderChurn(t *testing.T) {
+	s, c := tinyBaseline(t)
+	// Hammer a small working set far larger than one block's worth of
+	// updates; GC must keep reclaiming and erase counts must grow.
+	working := c.LogicalSectors() / 4
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4000; i++ {
+		off := (rng.Int63n(working / 16)) * 16
+		r := trace.Request{Op: trace.OpWrite, Offset: off, Count: 16}
+		if _, err := s.Write(r, float64(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if s.Dev.Array.TotalErases() == 0 {
+		t.Fatal("no erases after heavy churn; GC never ran")
+	}
+	if s.Dev.Count.GCWrites == 0 && s.Dev.Count.GCInvocations == 0 {
+		t.Fatal("no GC activity recorded")
+	}
+	free, valid, _ := s.Dev.Array.CountStates()
+	if free == 0 {
+		t.Fatal("device wedged with zero free pages")
+	}
+	if valid == 0 {
+		t.Fatal("no valid data survived churn")
+	}
+}
+
+func TestGCPreservesReadableData(t *testing.T) {
+	s, c := tinyBaseline(t)
+	// Write a recognisable working set, churn another region, then verify
+	// that every page of the original set still reads from flash without
+	// errors (its PMT mapping survived GC migration).
+	for lpn := int64(0); lpn < 8; lpn++ {
+		r := trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}
+		if _, err := s.Write(r, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	churnBase := c.LogicalSectors() / 2
+	for i := 0; i < 3000; i++ {
+		off := churnBase + int64(i%32)*16
+		if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: off, Count: 16}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Dev.Array.TotalErases() == 0 {
+		t.Skip("churn did not trigger GC in this geometry")
+	}
+	before := s.Dev.Count.DataReads
+	for lpn := int64(0); lpn < 8; lpn++ {
+		if _, err := s.Read(trace.Request{Op: trace.OpRead, Offset: lpn * 16, Count: 16}, 1e6); err != nil {
+			t.Fatalf("read of lpn %d after GC: %v", lpn, err)
+		}
+	}
+	if got := s.Dev.Count.DataReads - before; got != 8 {
+		t.Fatalf("reads = %d, want 8 (all pages still mapped)", got)
+	}
+}
+
+func TestOutOfSpaceIsDetected(t *testing.T) {
+	c := ssdconf.Tiny()
+	c.OverProvision = 0.05 // almost no slack
+	s, err := NewBaseline(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filling every logical page with unique valid data leaves GC nothing
+	// to reclaim once free space is exhausted: expect ErrOutOfSpace
+	// eventually rather than a hang or panic. Writing each logical page
+	// once is within capacity; writing them repeatedly adds map-free churn
+	// that GC *can* reclaim, so fill sequentially then keep appending new
+	// valid data via updates that always relocate.
+	var sawErr error
+	for pass := 0; pass < 40 && sawErr == nil; pass++ {
+		for lpn := int64(0); lpn < c.LogicalPages() && sawErr == nil; lpn++ {
+			_, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: lpn * 16, Count: 16}, 0)
+			if err != nil {
+				sawErr = err
+			}
+		}
+	}
+	// A device with only 5% OP and a 10% GC threshold cannot keep every
+	// logical page valid; allocation must fail crisply if it fails at all.
+	if sawErr != nil && !errors.Is(sawErr, ErrOutOfSpace) {
+		t.Fatalf("unexpected error kind: %v", sawErr)
+	}
+}
+
+func TestCountersSubAndTotals(t *testing.T) {
+	a := Counters{DataReads: 5, MapReads: 2, GCReads: 1, DataWrites: 7, MapWrites: 3, GCWrites: 2, Erases: 4}
+	b := Counters{DataReads: 1, MapReads: 1, GCReads: 1, DataWrites: 2, MapWrites: 1, GCWrites: 1, Erases: 1}
+	d := a.Sub(b)
+	if d.DataReads != 4 || d.Erases != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if a.FlashReads() != 8 || a.FlashWrites() != 12 {
+		t.Fatalf("totals = %d/%d, want 8/12", a.FlashReads(), a.FlashWrites())
+	}
+}
+
+func TestAllocatorStripesAcrossChips(t *testing.T) {
+	c := ssdconf.Tiny() // 2 channels x 1 chip
+	dev, err := NewDevice(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAllocator(dev, func(flash.Tag, flash.PPN, flash.PPN) {})
+	var chips []flash.ChipID
+	for i := 0; i < 4; i++ {
+		ppn, err := al.AllocPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Program(ppn, flash.Tag{Kind: TagData, Key: int64(i)}, 0, OpData); err != nil {
+			t.Fatal(err)
+		}
+		chips = append(chips, dev.Array.Geo.ChipOf(ppn))
+	}
+	if chips[0] == chips[1] {
+		t.Fatalf("consecutive allocations on same chip %v; want striping", chips)
+	}
+	if chips[0] != chips[2] || chips[1] != chips[3] {
+		t.Fatalf("striping not round-robin: %v", chips)
+	}
+}
+
+func TestDeviceResetMeasurementKeepsState(t *testing.T) {
+	s, _ := tinyBaseline(t)
+	if _, err := s.Write(trace.Request{Op: trace.OpWrite, Offset: 0, Count: 16}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Dev.ResetMeasurement()
+	if s.Dev.Count.DataWrites != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if s.Dev.Sched.Horizon() != 0 {
+		t.Fatal("timelines survived reset")
+	}
+	// Mapping state must survive: the page is still readable.
+	if _, err := s.Read(trace.Request{Op: trace.OpRead, Offset: 0, Count: 16}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dev.Count.DataReads != 1 {
+		t.Fatal("mapping state lost across reset")
+	}
+}
+
+func TestMapStoreLazyMaterialisation(t *testing.T) {
+	c := ssdconf.Tiny()
+	dev, err := NewDevice(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAllocator(dev, nil)
+	ms := NewMapStore(dev, al)
+	// Cold load: free.
+	if done, err := ms.Load(7, 3); err != nil || done != 3 {
+		t.Fatalf("cold Load = (%v,%v), want (3,nil)", done, err)
+	}
+	if dev.Count.MapReads != 0 {
+		t.Fatal("cold load touched flash")
+	}
+	// Flush materialises; subsequent load costs a read.
+	if _, err := ms.Flush(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Count.MapWrites != 1 {
+		t.Fatalf("MapWrites = %d, want 1", dev.Count.MapWrites)
+	}
+	if _, err := ms.Load(7, 4); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Count.MapReads != 1 {
+		t.Fatalf("MapReads = %d, want 1", dev.Count.MapReads)
+	}
+	// Re-flush invalidates the old location.
+	if _, err := ms.Flush(7, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Resident() != 1 {
+		t.Fatalf("Resident = %d, want 1", ms.Resident())
+	}
+	_, _, invalid := dev.Array.CountStates()
+	if invalid != 1 {
+		t.Fatalf("invalid pages = %d, want 1 (superseded translation page)", invalid)
+	}
+}
+
+func TestMapStoreMigration(t *testing.T) {
+	c := ssdconf.Tiny()
+	dev, _ := NewDevice(&c)
+	al := NewAllocator(dev, nil)
+	ms := NewMapStore(dev, al)
+	if _, err := ms.Flush(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var old flash.PPN
+	for p := flash.PPN(0); ; p++ {
+		if dev.Array.State(p) == flash.PageValid {
+			old = p
+			break
+		}
+	}
+	if !ms.OnMigrate(1, old, old+100) {
+		t.Fatal("OnMigrate refused a correct relocation")
+	}
+	if ms.OnMigrate(1, old, old+200) {
+		t.Fatal("OnMigrate accepted a stale relocation")
+	}
+}

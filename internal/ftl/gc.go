@@ -1,0 +1,122 @@
+package ftl
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+)
+
+// VictimPolicy selects how GC picks its victim block.
+type VictimPolicy uint8
+
+const (
+	// VictimGreedy picks the full block with the fewest valid pages — the
+	// default SSDsim policy used throughout the paper's evaluation.
+	VictimGreedy VictimPolicy = iota
+	// VictimFIFO picks the oldest full block regardless of its valid count;
+	// the ablation benches use it to show how much the greedy choice
+	// contributes to the erase results.
+	VictimFIFO
+)
+
+// SetVictimPolicy switches the GC victim selection (ablation hook).
+func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.victimPolicy = p }
+
+// pickVictim selects the collection victim among the plane's full,
+// non-active blocks under the configured policy. It returns -1 when no
+// block would yield net free space.
+func (a *Allocator) pickVictim(pl flash.PlaneID) flash.BlockID {
+	geo := a.dev.Array.Geo
+	st := &a.planes[pl]
+	lo, hi := geo.BlocksOfPlane(pl)
+	best := flash.BlockID(-1)
+	bestValid := geo.PagesPerBlock // exclusive upper bound: all-valid gains nothing
+	for b := lo; b < hi; b++ {
+		if b == st.active || b == st.gcActive {
+			continue
+		}
+		if a.dev.Array.WritePtr(b) != geo.PagesPerBlock {
+			continue // not fully written; erasing it would waste free pages
+		}
+		v := a.dev.Array.ValidCount(b)
+		if a.victimPolicy == VictimFIFO {
+			if v < geo.PagesPerBlock {
+				return b // oldest reclaimable full block
+			}
+			continue
+		}
+		if v < bestValid {
+			best, bestValid = b, v
+			if v == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// collect reclaims space in one plane until it is back above the GC
+// threshold or no victim can make progress. Valid pages are migrated into
+// the plane's GC-destination block; their owners are repointed through the
+// migration callback; finally the victim is erased and returned to the free
+// pool. All flash work is charged to the plane's chip timeline at time now,
+// so host operations issued afterwards queue behind the collection — the
+// foreground-GC latency effect the paper's erase/latency numbers rest on.
+func (a *Allocator) collect(pl flash.PlaneID, now float64) error {
+	st := &a.planes[pl]
+	victims := 0
+	for st.freePages <= a.threshold || len(st.freeBlocks) <= 1 {
+		// Partial GC: stop after the configured number of victims as long
+		// as the plane retains its reserve block; the next allocation will
+		// resume collection.
+		if a.maxVictims > 0 && victims >= a.maxVictims && len(st.freeBlocks) > 1 {
+			return nil
+		}
+		victim := a.pickVictim(pl)
+		if victim < 0 {
+			// Nothing reclaimable; allocation may continue into the
+			// remaining free pages and fail later if truly exhausted.
+			return nil
+		}
+		a.dev.Count.GCInvocations++
+		victims++
+		if a.gcVictims != nil {
+			a.gcVictims(pl)
+		}
+		for _, old := range a.dev.Array.ValidPages(victim) {
+			tag := a.dev.Array.TagOf(old)
+			if a.salvage != nil {
+				handled, err := a.salvage(tag, old, pl, now)
+				if err != nil {
+					return fmt.Errorf("ftl: gc salvage: %w", err)
+				}
+				if handled {
+					continue
+				}
+			}
+			rdone, err := a.dev.Read(old, now, OpGC)
+			if err != nil {
+				return fmt.Errorf("ftl: gc read: %w", err)
+			}
+			dst, err := a.AllocGCPage(pl)
+			if err != nil {
+				return fmt.Errorf("ftl: gc destination: %w", err)
+			}
+			if _, err := a.dev.Program(dst, tag, rdone, OpGC); err != nil {
+				return fmt.Errorf("ftl: gc program: %w", err)
+			}
+			if a.onMigrate == nil {
+				return fmt.Errorf("ftl: gc migration of %v with no migrate callback", tag)
+			}
+			a.onMigrate(tag, old, dst)
+			if err := a.dev.Invalidate(old); err != nil {
+				return fmt.Errorf("ftl: gc invalidate: %w", err)
+			}
+		}
+		if _, err := a.dev.Erase(victim, now); err != nil {
+			return fmt.Errorf("ftl: gc erase: %w", err)
+		}
+		a.NoteErased(victim)
+	}
+	return nil
+}

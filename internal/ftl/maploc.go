@@ -1,0 +1,86 @@
+package ftl
+
+import (
+	"across/internal/cache"
+	"across/internal/flash"
+)
+
+// MapStore tracks where flash-resident translation pages currently live.
+// Schemes whose mapping tables exceed DRAM (MRSM always; Across-FTL for its
+// AMT) pair a cache.CMT (which decides *when* a translation page must be
+// loaded or flushed) with a MapStore (which performs the resulting flash
+// I/O, classed as OpMap).
+//
+// Translation pages are materialised lazily: a page that has never been
+// flushed has no flash location, so its first load is free (the in-DRAM
+// table starts zero-filled). This mirrors a freshly formatted DFTL-style
+// directory and keeps Map reads attributable to genuine reload churn.
+type MapStore struct {
+	dev *Device
+	al  *Allocator
+	loc map[int64]flash.PPN
+}
+
+// NewMapStore creates an empty store.
+func NewMapStore(dev *Device, al *Allocator) *MapStore {
+	return &MapStore{dev: dev, al: al, loc: make(map[int64]flash.PPN)}
+}
+
+// Load charges the flash read for a translation-page miss, returning the
+// completion time (now if the page was never materialised).
+func (m *MapStore) Load(pageID int64, now float64) (float64, error) {
+	ppn, ok := m.loc[pageID]
+	if !ok {
+		return now, nil
+	}
+	return m.dev.Read(ppn, now, OpMap)
+}
+
+// Flush writes a dirty translation page to a fresh flash page, invalidating
+// its previous location, and returns the completion time.
+func (m *MapStore) Flush(pageID int64, now float64) (float64, error) {
+	ppn, err := m.al.AllocPage(now)
+	if err != nil {
+		return now, err
+	}
+	done, err := m.dev.Program(ppn, flash.Tag{Kind: TagMap, Key: pageID}, now, OpMap)
+	if err != nil {
+		return now, err
+	}
+	if old, ok := m.loc[pageID]; ok {
+		if err := m.dev.Invalidate(old); err != nil {
+			return now, err
+		}
+	}
+	m.loc[pageID] = ppn
+	return done, nil
+}
+
+// OnMigrate repoints a translation page after GC moved it.
+func (m *MapStore) OnMigrate(pageID int64, old, new flash.PPN) bool {
+	if cur, ok := m.loc[pageID]; ok && cur == old {
+		m.loc[pageID] = new
+		return true
+	}
+	return false
+}
+
+// Resident returns the number of materialised translation pages.
+func (m *MapStore) Resident() int { return len(m.loc) }
+
+// ApplyEffect executes the flash work a CMT touch demands and returns the
+// time the mapping entry is usable. A dirty-victim flush is background work:
+// it occupies its chip (delaying whatever queues behind it) but does not
+// gate the requesting I/O, which only waits for the miss load of the entry
+// it actually needs.
+func (m *MapStore) ApplyEffect(e cache.Effect, pageID int64, now float64) (float64, error) {
+	if e.FlushWrite {
+		if _, err := m.Flush(e.Victim, now); err != nil {
+			return now, err
+		}
+	}
+	if e.MissRead {
+		return m.Load(pageID, now)
+	}
+	return now, nil
+}

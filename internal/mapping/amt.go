@@ -1,0 +1,134 @@
+package mapping
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+)
+
+// AMTEntry is one across-page area: the second level of Across-FTL's
+// two-level mapping table (Fig 5). Off and Size are in sectors; Off is
+// relative to the first byte of the area's first logical page, exactly as in
+// the paper's worked example (write(1028K,6K) on an 8 KB page 1024K → Off=8,
+// Size=12). LPN is the first of the two logical pages the area spans; the
+// paper stores the equivalent back-reference in the page's OOB area.
+type AMTEntry struct {
+	LPN  int64     // first logical page of the across-page span
+	Off  int32     // sector offset of the area within that page's address
+	Size int32     // area length in sectors (0 < Size <= sectors per page)
+	APPN flash.PPN // physical page holding the re-aligned data
+}
+
+// End returns the exclusive sector end of the area relative to the LPN base.
+func (e AMTEntry) End() int32 { return e.Off + e.Size }
+
+// AMT is the across-page mapping table: a growable pool of AMTEntry with
+// index recycling. Entry indices are the AIdx values stored in the PMT, so
+// they must remain stable for the lifetime of an area.
+type AMT struct {
+	entries []AMTEntry
+	inUse   []bool
+	free    []int32 // recycled indices
+	live    int
+	peak    int // high-water mark of live entries (sizing metric, Fig 12a)
+}
+
+// NewAMT creates an empty across-page mapping table.
+func NewAMT() *AMT { return &AMT{} }
+
+// Alloc stores a new area and returns its stable index.
+func (a *AMT) Alloc(e AMTEntry) int32 {
+	var idx int32
+	if n := len(a.free); n > 0 {
+		idx = a.free[n-1]
+		a.free = a.free[:n-1]
+		a.entries[idx] = e
+		a.inUse[idx] = true
+	} else {
+		idx = int32(len(a.entries))
+		a.entries = append(a.entries, e)
+		a.inUse = append(a.inUse, true)
+	}
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+	return idx
+}
+
+// AllocAt installs an area at a specific index (growing the table as
+// needed). Power-loss recovery uses it so indices match the AIdx keys burnt
+// into the pages' OOB areas. It panics if the index is already live.
+func (a *AMT) AllocAt(idx int32, e AMTEntry) {
+	if idx < 0 {
+		panic("mapping: AllocAt with negative index")
+	}
+	for int(idx) >= len(a.entries) {
+		a.entries = append(a.entries, AMTEntry{})
+		a.inUse = append(a.inUse, false)
+		a.free = append(a.free, int32(len(a.entries)-1))
+	}
+	if a.inUse[idx] {
+		panic("mapping: AllocAt on a live index")
+	}
+	// Remove idx from the free list.
+	for i, f := range a.free {
+		if f == idx {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+			break
+		}
+	}
+	a.entries[idx] = e
+	a.inUse[idx] = true
+	a.live++
+	if a.live > a.peak {
+		a.peak = a.live
+	}
+}
+
+func (a *AMT) check(idx int32) {
+	if idx < 0 || int(idx) >= len(a.entries) || !a.inUse[idx] {
+		panic(fmt.Sprintf("mapping: AMT index %d not in use", idx))
+	}
+}
+
+// Get returns the area at a live index.
+func (a *AMT) Get(idx int32) AMTEntry {
+	a.check(idx)
+	return a.entries[idx]
+}
+
+// Update replaces the area at a live index (AMerge moves Off/Size/APPN).
+func (a *AMT) Update(idx int32, e AMTEntry) {
+	a.check(idx)
+	a.entries[idx] = e
+}
+
+// SetAPPN repoints a live area at a new physical page (GC migration).
+func (a *AMT) SetAPPN(idx int32, ppn flash.PPN) {
+	a.check(idx)
+	a.entries[idx].APPN = ppn
+}
+
+// Free releases an index for reuse (ARollback clears the area).
+func (a *AMT) Free(idx int32) {
+	a.check(idx)
+	a.inUse[idx] = false
+	a.free = append(a.free, idx)
+	a.live--
+}
+
+// InUse reports whether an index currently holds a live area.
+func (a *AMT) InUse(idx int32) bool {
+	return idx >= 0 && int(idx) < len(a.entries) && a.inUse[idx]
+}
+
+// Live returns the number of live areas.
+func (a *AMT) Live() int { return a.live }
+
+// Peak returns the high-water mark of live areas; Fig 12(a) sizes the AMT's
+// memory contribution from it.
+func (a *AMT) Peak() int { return a.peak }
+
+// Slots returns the number of allocated slots (live + recycled).
+func (a *AMT) Slots() int { return len(a.entries) }

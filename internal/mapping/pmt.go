@@ -1,0 +1,96 @@
+// Package mapping implements the address-translation data structures of the
+// paper: the page mapping table (PMT) shared by all schemes — extended with
+// the AIdx sidecar that Across-FTL adds (§3.2) — and the across-page mapping
+// table (AMT) that records remapped across-page areas.
+package mapping
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+)
+
+// NoAIdx marks a PMT entry whose logical page has no across-page remapping
+// ("-1" in the paper).
+const NoAIdx int32 = -1
+
+// PMTEntry is one logical page's translation state.
+type PMTEntry struct {
+	PPN  flash.PPN // current physical page (NilPPN if never written)
+	AIdx int32     // index into the AMT, or NoAIdx
+}
+
+// PMT is the page mapping table: a dense array indexed by LPN. The baseline
+// FTL and MRSM ignore the AIdx field; Across-FTL uses it as the first level
+// of its two-level table.
+type PMT struct {
+	entries []PMTEntry
+}
+
+// NewPMT creates a PMT for n logical pages, all unmapped.
+func NewPMT(n int64) *PMT {
+	e := make([]PMTEntry, n)
+	for i := range e {
+		e[i] = PMTEntry{PPN: flash.NilPPN, AIdx: NoAIdx}
+	}
+	return &PMT{entries: e}
+}
+
+// Len returns the number of logical pages.
+func (t *PMT) Len() int64 { return int64(len(t.entries)) }
+
+func (t *PMT) check(lpn int64) {
+	if lpn < 0 || lpn >= int64(len(t.entries)) {
+		panic(fmt.Sprintf("mapping: LPN %d out of range [0,%d)", lpn, len(t.entries)))
+	}
+}
+
+// Get returns the entry for an LPN.
+func (t *PMT) Get(lpn int64) PMTEntry {
+	t.check(lpn)
+	return t.entries[lpn]
+}
+
+// PPNOf returns the mapped physical page of an LPN (NilPPN if unmapped).
+func (t *PMT) PPNOf(lpn int64) flash.PPN {
+	t.check(lpn)
+	return t.entries[lpn].PPN
+}
+
+// SetPPN updates the physical mapping of an LPN, returning the previous PPN
+// so the caller can invalidate it.
+func (t *PMT) SetPPN(lpn int64, ppn flash.PPN) (old flash.PPN) {
+	t.check(lpn)
+	old = t.entries[lpn].PPN
+	t.entries[lpn].PPN = ppn
+	return old
+}
+
+// AIdxOf returns the across-table index of an LPN (NoAIdx if not remapped).
+func (t *PMT) AIdxOf(lpn int64) int32 {
+	t.check(lpn)
+	return t.entries[lpn].AIdx
+}
+
+// SetAIdx points an LPN at an AMT entry.
+func (t *PMT) SetAIdx(lpn int64, idx int32) {
+	t.check(lpn)
+	t.entries[lpn].AIdx = idx
+}
+
+// ClearAIdx removes an LPN's across-page remapping (used by ARollback).
+func (t *PMT) ClearAIdx(lpn int64) {
+	t.check(lpn)
+	t.entries[lpn].AIdx = NoAIdx
+}
+
+// MappedPages counts LPNs with a physical mapping; used by aging checks.
+func (t *PMT) MappedPages() int64 {
+	var n int64
+	for i := range t.entries {
+		if t.entries[i].PPN != flash.NilPPN {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,446 @@
+// Package mrsm implements the MRSM comparator of the paper (Chen et al.,
+// "Beyond address mapping: a user-oriented multiregional space management
+// design for 3-D NAND flash memory", TCAD 2020), as characterised in §2.2
+// and §4 of the Across-FTL paper:
+//
+//   - sub-page-granularity mapping: each logical page is divided into
+//     sub-page regions with their own mapping entries, so unaligned and
+//     across-page writes are packed compactly into physical pages without
+//     read-modify-write — fewer data writes than the baseline FTL;
+//   - the price is a mapping table ~2.4x the baseline's, of which only the
+//     DRAM budget's worth stays resident: the rest lives in flash and is
+//     loaded/flushed through a cached mapping table, generating the heavy
+//     Map read/write traffic of Fig 10 and the extra erases of Fig 11;
+//   - lookups walk a tree index, multiplying DRAM accesses (Fig 12b).
+package mrsm
+
+import (
+	"math"
+	"sort"
+
+	"across/internal/cache"
+	"across/internal/clock"
+	"across/internal/flash"
+	"across/internal/ftl"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+// treeFanout is the branching factor of MRSM's mapping index; lookups cost
+// ceil(log_fanout(entries)) DRAM accesses and updates cost twice that (walk
+// down plus modify/rebalance back up) — the mechanism behind MRSM's ~32x
+// DRAM access count in Fig 12(b).
+const treeFanout = 8
+
+// nodeEntries is how many sub-page mapping entries one tree node (the unit
+// cached in DRAM and spilled to flash) holds. Tree nodes have far less
+// spatial locality than a dense translation page, which is why MRSM's map
+// traffic dominates its flash ops (36.9% of writes / 34.4% of reads in
+// Fig 10) while the schemes with dense tables barely spill.
+const nodeEntries = 256
+
+// maxNodeDirty bounds the number of un-persisted updates a resident tree
+// node may accumulate before it is checkpointed to flash: controllers cap
+// dirty mapping state for power-loss recovery, and a sub-page table dirties
+// entries several times faster than a page-level one. This bound is what
+// keeps MRSM's mapping-table flushes proportional to its data writes.
+const maxNodeDirty = 12
+
+const unmapped = int64(-1)
+
+// pageSlots is the controller-side census of one MRSM-packed physical page:
+// which logical sub-page each slot holds and how many are still live.
+type pageSlots struct {
+	owner []int64 // slot -> logical sub-page id (unmapped if dead)
+	live  int
+}
+
+// Scheme is the MRSM implementation of ftl.Scheme.
+type Scheme struct {
+	ftl.Base
+
+	subPerPg int // sub-pages per page
+	subSec   int // sectors per sub-page
+	depth    int // tree lookup cost in DRAM accesses
+
+	subLoc    []int64                  // logical sub-page -> physical sub-slot
+	pages     map[flash.PPN]*pageSlots // live MRSM data pages
+	cmt       *cache.CMT               // cached mapping table over sub-page entries
+	ms        *ftl.MapStore            // flash residence of spilled map pages
+	nodeDirty map[int64]int            // un-persisted updates per resident node
+
+	// Pack buffer: sub-pages accumulated in controller RAM until a full
+	// physical page can be programmed.
+	bufMap  map[int64]int // logical sub-page -> buffer slot
+	bufList []int64       // buffer slot -> logical sub-page
+}
+
+// New builds MRSM on a fresh device. The DRAM budget (by default the size of
+// the baseline FTL's table) caps the resident fraction of the sub-page
+// mapping table; with the default sizing ~40% stays in DRAM, matching the
+// paper's 42.1%.
+func New(conf *ssdconf.Config) (*Scheme, error) {
+	base, err := ftl.NewBase(conf)
+	if err != nil {
+		return nil, err
+	}
+	subPerPg := conf.SubPagesPerPg
+	totalSub := conf.LogicalPages() * int64(subPerPg)
+	nodeBytes := int64(nodeEntries * conf.MRSMEntryBytes)
+	residentNodes := int(conf.DRAMBudget() / nodeBytes)
+	s := &Scheme{
+		Base:      base,
+		subPerPg:  subPerPg,
+		subSec:    conf.SectorsPerPage() / subPerPg,
+		depth:     treeDepth(totalSub),
+		subLoc:    make([]int64, totalSub),
+		pages:     make(map[flash.PPN]*pageSlots),
+		cmt:       cache.NewCMT(nodeEntries, residentNodes),
+		bufMap:    make(map[int64]int),
+		nodeDirty: make(map[int64]int),
+	}
+	for i := range s.subLoc {
+		s.subLoc[i] = unmapped
+	}
+	s.ms = ftl.NewMapStore(s.Dev, s.Al)
+	s.Al.SetMigrate(s.migrate)
+	s.Al.SetSalvage(s.salvage)
+	return s, nil
+}
+
+func treeDepth(n int64) int {
+	if n < 2 {
+		return 1
+	}
+	d := int(math.Ceil(math.Log(float64(n)) / math.Log(treeFanout)))
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// Name implements ftl.Scheme.
+func (s *Scheme) Name() string { return "MRSM" }
+
+// TableBytes implements ftl.Scheme: a dense sub-page-granularity table.
+func (s *Scheme) TableBytes() int64 {
+	return int64(len(s.subLoc)) * int64(s.Conf.MRSMEntryBytes)
+}
+
+// ResidentFraction reports how much of the mapping table fits in DRAM
+// (the paper quotes 42.1%).
+func (s *Scheme) ResidentFraction() float64 {
+	nodeBytes := int64(nodeEntries * s.Conf.MRSMEntryBytes)
+	return float64(int64(s.cmt.ResidentPages())*nodeBytes) / float64(s.TableBytes())
+}
+
+// CMTStats exposes mapping-cache behaviour.
+func (s *Scheme) CMTStats() cache.CMTStats { return s.cmt.Stats() }
+
+// ResetStats clears cache statistics after warm-up.
+func (s *Scheme) ResetStats() { s.cmt.ResetStats() }
+
+// migrate is the GC callback: MRSM data pages move wholesale (slot layout
+// preserved); translation pages route to the map store; plain data pages
+// never exist under MRSM, so TagData is foreign.
+func (s *Scheme) migrate(tag flash.Tag, old, new flash.PPN) {
+	switch tag.Kind {
+	case ftl.TagMRSM:
+		ps, ok := s.pages[old]
+		if !ok {
+			panic("mrsm: GC moved a packed page the scheme does not own")
+		}
+		delete(s.pages, old)
+		s.pages[new] = ps
+		for slot, sub := range ps.owner {
+			if sub != unmapped {
+				s.subLoc[sub] = int64(new)*int64(s.subPerPg) + int64(slot)
+			}
+		}
+	case ftl.TagMap:
+		if !s.ms.OnMigrate(tag.Key, old, new) {
+			panic("mrsm: GC moved a translation page the map store does not own")
+		}
+	default:
+		panic("mrsm: GC met a foreign page tag")
+	}
+}
+
+// touchEntry charges one sub-page mapping access: a tree walk in DRAM plus
+// the cached-mapping-table effects.
+func (s *Scheme) touchEntry(sub int64, dirty bool, now float64) (delay, ready float64, err error) {
+	walk := s.depth
+	if dirty {
+		walk *= 2 // descend, then modify and rebalance back up
+	}
+	delay = s.Dev.DRAMAccess(walk)
+	eff := s.cmt.Touch(sub, dirty)
+	node := s.cmt.PageOf(sub)
+	if eff.FlushWrite {
+		delete(s.nodeDirty, eff.Victim)
+	}
+	ready, err = s.ms.ApplyEffect(eff, node, now)
+	if err != nil || !dirty {
+		return delay, ready, err
+	}
+	// Checkpoint the node once it exceeds its dirty-update budget. The
+	// checkpoint is background work: it occupies the chip but does not gate
+	// the triggering request.
+	if s.nodeDirty[node]++; s.nodeDirty[node] >= maxNodeDirty {
+		delete(s.nodeDirty, node)
+		if _, ferr := s.ms.Flush(node, now); ferr != nil {
+			return delay, ready, ferr
+		}
+		s.cmt.MarkClean(node)
+	}
+	return delay, ready, nil
+}
+
+// invalidateSub kills the flash copy of a logical sub-page, invalidating the
+// physical page once its last live slot dies.
+func (s *Scheme) invalidateSub(sub int64) error {
+	loc := s.subLoc[sub]
+	if loc == unmapped {
+		return nil
+	}
+	ppn := flash.PPN(loc / int64(s.subPerPg))
+	slot := int(loc % int64(s.subPerPg))
+	ps := s.pages[ppn]
+	if ps == nil || ps.owner[slot] != sub {
+		panic("mrsm: sub-page location table out of sync")
+	}
+	ps.owner[slot] = unmapped
+	ps.live--
+	s.subLoc[sub] = unmapped
+	if ps.live == 0 {
+		delete(s.pages, ppn)
+		return s.Dev.Invalidate(ppn)
+	}
+	return nil
+}
+
+// flushPack programs the accumulated pack buffer as one physical page and
+// installs the sub-page mappings. Returns the program completion time.
+func (s *Scheme) flushPack(issue float64) (float64, error) {
+	// Snapshot the buffer before allocating: the allocation can trigger GC,
+	// whose salvage path stages fresh sub-pages into the (new, empty)
+	// buffer. Installing from a live buffer would overflow the page.
+	subs := s.takeBuffer()
+	ppn, err := s.Al.AllocPage(issue)
+	if err != nil {
+		return issue, err
+	}
+	return s.installPack(ppn, subs, issue, ftl.OpData)
+}
+
+// flushPackGC is flushPack on the GC allocation path, used while salvaging
+// a collection victim (the host path could recurse into collection).
+func (s *Scheme) flushPackGC(pl flash.PlaneID, issue float64) (float64, error) {
+	subs := s.takeBuffer()
+	ppn, err := s.Al.AllocGCPage(pl)
+	if err != nil {
+		return issue, err
+	}
+	return s.installPack(ppn, subs, issue, ftl.OpGC)
+}
+
+// takeBuffer detaches the current pack-buffer contents.
+func (s *Scheme) takeBuffer() []int64 {
+	subs := append([]int64(nil), s.bufList...)
+	for _, sub := range subs {
+		delete(s.bufMap, sub)
+	}
+	s.bufList = s.bufList[:0]
+	return subs
+}
+
+func (s *Scheme) installPack(ppn flash.PPN, subs []int64, issue float64, class ftl.OpClass) (float64, error) {
+	frac := float64(len(subs)) / float64(s.subPerPg)
+	done, err := s.Dev.ProgramScaled(ppn, flash.Tag{Kind: ftl.TagMRSM, Key: -1}, issue, class, frac)
+	if err != nil {
+		return issue, err
+	}
+	ps := &pageSlots{owner: make([]int64, s.subPerPg), live: len(subs)}
+	for i := range ps.owner {
+		ps.owner[i] = unmapped
+	}
+	for slot, sub := range subs {
+		ps.owner[slot] = sub
+		s.subLoc[sub] = int64(ppn)*int64(s.subPerPg) + int64(slot)
+	}
+	s.pages[ppn] = ps
+	return done, nil
+}
+
+// salvage is the GC hook: instead of copying a packed page wholesale (which
+// would drag dead sub-page slots along forever and fragment the device), the
+// live sub-pages are read once and re-staged through the pack buffer, so
+// collection compacts at sub-page granularity — the GC-efficiency property
+// §2.2 credits MRSM with.
+func (s *Scheme) salvage(tag flash.Tag, old flash.PPN, pl flash.PlaneID, now float64) (bool, error) {
+	if tag.Kind != ftl.TagMRSM {
+		return false, nil
+	}
+	ps, ok := s.pages[old]
+	if !ok {
+		panic("mrsm: GC salvaging a packed page the scheme does not own")
+	}
+	if _, err := s.Dev.Read(old, now, ftl.OpGC); err != nil {
+		return false, err
+	}
+	owners := append([]int64(nil), ps.owner...)
+	for _, sub := range owners {
+		if sub == unmapped {
+			continue
+		}
+		if err := s.invalidateSub(sub); err != nil {
+			return false, err
+		}
+		s.bufMap[sub] = len(s.bufList)
+		s.bufList = append(s.bufList, sub)
+		if len(s.bufList) == s.subPerPg {
+			if _, err := s.flushPackGC(pl, now); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// subRange returns the half-open logical sub-page range a request touches,
+// plus whether the first/last sub-pages are only partially covered.
+func (s *Scheme) subRange(r trace.Request) (first, last int64, firstPartial, lastPartial bool) {
+	first = r.Offset / int64(s.subSec)
+	last = (r.End() - 1) / int64(s.subSec)
+	firstPartial = r.Offset%int64(s.subSec) != 0
+	lastPartial = r.End()%int64(s.subSec) != 0
+	if first == last {
+		p := firstPartial || lastPartial
+		firstPartial, lastPartial = p, p
+	}
+	return
+}
+
+// Write implements ftl.Scheme: each touched sub-page is staged into the pack
+// buffer; partially covered sub-pages with existing flash data read their
+// old page first; superseded flash slots are invalidated; a full buffer
+// programs one packed page.
+func (s *Scheme) Write(r trace.Request, now float64) (float64, error) {
+	if err := s.CheckRequest(r); err != nil {
+		return now, err
+	}
+	join := clock.NewJoin(now)
+	var mapDelay float64
+	issue := now
+	readPages := map[flash.PPN]bool{}
+
+	first, last, firstPartial, lastPartial := s.subRange(r)
+	for sub := first; sub <= last; sub++ {
+		d, _, err := s.touchEntry(sub, true, now)
+		if err != nil {
+			return now, err
+		}
+		mapDelay += d
+		partial := (sub == first && firstPartial) || (sub == last && lastPartial)
+		if partial {
+			// Assemble the new sub-page from the old copy if one exists on
+			// flash (buffered copies merge in RAM for free).
+			if loc := s.subLoc[sub]; loc != unmapped {
+				ppn := flash.PPN(loc / int64(s.subPerPg))
+				if !readPages[ppn] {
+					readPages[ppn] = true
+					rdone, err := s.Dev.Read(ppn, now, ftl.OpData)
+					if err != nil {
+						return now, err
+					}
+					if rdone > issue {
+						issue = rdone
+					}
+				}
+			}
+		}
+		// Stage into the pack buffer.
+		if _, buffered := s.bufMap[sub]; buffered {
+			continue // overwrite in RAM
+		}
+		if err := s.invalidateSub(sub); err != nil {
+			return now, err
+		}
+		s.bufMap[sub] = len(s.bufList)
+		s.bufList = append(s.bufList, sub)
+		if len(s.bufList) == s.subPerPg {
+			done, err := s.flushPack(issue)
+			if err != nil {
+				return now, err
+			}
+			join.Add(done)
+		}
+	}
+	// A write request completes only when its data is durable: flush the
+	// ragged tail as a partially filled packed page. The unfilled slots are
+	// wasted space — the space amplification that makes MRSM's flash-write
+	// and erase counts the worst of the three schemes (Figs 10a, 11) even
+	// though its write latency beats the RMW-bound baseline (Fig 9b).
+	if len(s.bufList) > 0 {
+		done, err := s.flushPack(issue)
+		if err != nil {
+			return now, err
+		}
+		join.Add(done)
+	}
+	join.AddDelay(mapDelay)
+	return join.Done(), nil
+}
+
+// Read implements ftl.Scheme: each touched sub-page resolves through the
+// (cached, tree-indexed) mapping; distinct physical pages are read once;
+// buffered or unwritten sub-pages cost no flash work.
+func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
+	if err := s.CheckRequest(r); err != nil {
+		return now, err
+	}
+	join := clock.NewJoin(now)
+	var mapDelay float64
+
+	// Resolve every mapping entry first: a cache miss can flush a dirty
+	// translation page, whose allocation can trigger GC, which relocates
+	// data pages — so physical locations are only read after the last
+	// mapping touch.
+	first, last, _, _ := s.subRange(r)
+	ready := now
+	for sub := first; sub <= last; sub++ {
+		d, rdy, err := s.touchEntry(sub, false, now)
+		if err != nil {
+			return now, err
+		}
+		mapDelay += d
+		if rdy > ready {
+			ready = rdy
+		}
+	}
+	need := map[flash.PPN]bool{}
+	for sub := first; sub <= last; sub++ {
+		if _, buffered := s.bufMap[sub]; buffered {
+			continue
+		}
+		if loc := s.subLoc[sub]; loc != unmapped {
+			need[flash.PPN(loc/int64(s.subPerPg))] = true
+		}
+	}
+	ppns := make([]flash.PPN, 0, len(need))
+	for ppn := range need {
+		ppns = append(ppns, ppn)
+	}
+	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	for _, ppn := range ppns {
+		done, err := s.Dev.Read(ppn, ready, ftl.OpData)
+		if err != nil {
+			return now, err
+		}
+		join.Add(done)
+	}
+	join.AddDelay(mapDelay)
+	return join.Done(), nil
+}
+
+var _ ftl.Scheme = (*Scheme)(nil)

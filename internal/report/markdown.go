@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderCSV writes the table as RFC-4180-ish CSV (title and note become
+// comment lines), for feeding plotting scripts.
+func (t *Table) RenderCSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprint(w, quote(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "# %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTo dispatches on a format name: "markdown", "csv", or fixed-width
+// text (the default for anything else).
+func (t *Table) RenderTo(w io.Writer, format string) {
+	switch format {
+	case "markdown", "md":
+		t.RenderMarkdown(w)
+	case "csv":
+		t.RenderCSV(w)
+	default:
+		t.Render(w)
+	}
+}
+
+// RenderMarkdown writes the table as GitHub-flavoured markdown, for pasting
+// experiment output into EXPERIMENTS.md or issue reports.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	fmt.Fprint(w, "|")
+	for _, h := range t.Headers {
+		fmt.Fprintf(w, " %s |", esc(h))
+	}
+	fmt.Fprint(w, "\n|")
+	for range t.Headers {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		fmt.Fprint(w, "|")
+		for _, c := range row {
+			fmt.Fprintf(w, " %s |", esc(c))
+		}
+		fmt.Fprintln(w)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "\n*%s*\n", esc(t.Note))
+	}
+	fmt.Fprintln(w)
+}

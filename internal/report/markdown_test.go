@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := New("Fig X", "trace", "value|ratio")
+	tb.Add("lun1", "1.0|2.0")
+	tb.Note = "a note"
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"**Fig X**",
+		"| trace | value\\|ratio |",
+		"|---|---|",
+		"| lun1 | 1.0\\|2.0 |",
+		"*a note*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMarkdownNoTitleNoNote(t *testing.T) {
+	tb := New("", "a")
+	tb.Add("x")
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	if strings.Contains(sb.String(), "**") || strings.Contains(sb.String(), "*a note*") {
+		t.Errorf("unexpected decorations: %s", sb.String())
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("Fig Y", "trace", "value")
+	tb.Add("lun,1", `say "hi"`)
+	tb.Note = "csv note"
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# Fig Y",
+		"trace,value",
+		`"lun,1","say ""hi"""`,
+		"# csv note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderToDispatch(t *testing.T) {
+	tb := New("T", "a")
+	tb.Add("x")
+	check := func(format, marker string) {
+		var sb strings.Builder
+		tb.RenderTo(&sb, format)
+		if !strings.Contains(sb.String(), marker) {
+			t.Errorf("format %q missing marker %q:\n%s", format, marker, sb.String())
+		}
+	}
+	check("csv", "# T")
+	check("markdown", "**T**")
+	check("md", "**T**")
+	check("text", "| a")
+	check("", "| a")
+}

@@ -1,0 +1,130 @@
+// Package report renders the experiment output: fixed-width ASCII tables
+// (one per paper table/figure), figure series, and paper-vs-measured
+// comparison rows, so a terminal run of the harness reads like the paper's
+// evaluation section.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled fixed-width table.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) Add(cells ...string) *Table {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Addf appends a row of formatted cells (each cell a [format, value] pair is
+// overkill; callers use F/Pct helpers instead).
+func (t *Table) Addf(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	return t.Add(row...)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	line := strings.Repeat("-", total)
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintln(w, line)
+	printRow := func(cells []string) {
+		fmt.Fprint(w, "|")
+		for i, c := range cells {
+			fmt.Fprintf(w, " %-*s |", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Headers)
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w, line)
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// F formats a float with prec decimals.
+func F(x float64, prec int) string { return fmt.Sprintf("%.*f", prec, x) }
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// N formats an integer with thousands separators.
+func N(x int64) string {
+	s := fmt.Sprintf("%d", x)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// Norm formats x normalised by base (base -> "1.00"); guards base == 0.
+func Norm(x, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return F(x/base, 3)
+}
+
+// Delta formats the relative change from base to x, e.g. "-8.9%".
+func Delta(x, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(x-base)/base)
+}

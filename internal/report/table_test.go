@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table X. Demo", "trace", "value")
+	tb.Add("lun1", "1.23")
+	tb.Addf("lun2", 42)
+	tb.Note = "numbers are made up"
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Table X. Demo", "trace", "lun1", "1.23", "lun2", "42", "note: numbers are made up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every body line has the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var width int
+	for _, l := range lines[1:5] {
+		if width == 0 {
+			width = len(l)
+		} else if len(l) != width {
+			t.Errorf("ragged table: %q (want width %d)", l, width)
+		}
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.Add("only-one")
+	tb.Add("x", "y", "dropped")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Errorf("padding failed: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Errorf("truncation failed: %v", tb.Rows[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.2345, 2) != "1.23" {
+		t.Error("F")
+	}
+	if Pct(0.247) != "24.7%" {
+		t.Error("Pct")
+	}
+	if N(1234567) != "1,234,567" {
+		t.Errorf("N = %s", N(1234567))
+	}
+	if N(-1000) != "-1,000" {
+		t.Errorf("N(-1000) = %s", N(-1000))
+	}
+	if N(12) != "12" {
+		t.Error("N small")
+	}
+	if Norm(2, 4) != "0.500" {
+		t.Error("Norm")
+	}
+	if Norm(1, 0) != "n/a" {
+		t.Error("Norm zero base")
+	}
+	if Delta(0.911, 1.0) != "-8.9%" {
+		t.Errorf("Delta = %s", Delta(0.911, 1.0))
+	}
+	if Delta(1, 0) != "n/a" {
+		t.Error("Delta zero base")
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"across/internal/acrossftl"
+	"across/internal/ftl"
+	"across/internal/mrsm"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+)
+
+// Runner owns one scheme instance over one simulated device and replays
+// traces against it.
+type Runner struct {
+	Conf   *ssdconf.Config
+	Kind   SchemeKind
+	Scheme ftl.Scheme
+
+	warmed       bool
+	warmupWrites int64
+}
+
+// NewRunner builds a scheme of the given kind on a fresh device.
+func NewRunner(kind SchemeKind, conf ssdconf.Config) (*Runner, error) {
+	if err := conf.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewScheme(kind, &conf)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Conf: &conf, Kind: kind, Scheme: s}, nil
+}
+
+// Replay runs a trace through the scheme open-loop (every request is
+// dispatched at its trace arrival time) and collects a Result. Timelines,
+// operation counters and scheme statistics are reset at entry, so the result
+// reflects only this trace (state — mappings, block wear, aged free space —
+// carries over, which is what makes aging meaningful).
+func (r *Runner) Replay(reqs []trace.Request) (*Result, error) {
+	return r.ReplayQD(reqs, 0)
+}
+
+// ReplayQD replays with a bounded queue depth: at most qd requests are
+// outstanding; a request whose trace arrival finds the queue full is
+// deferred to the earliest completion (closed-loop behaviour, the way a
+// host with qd in-flight commands drives a device). qd <= 0 replays
+// open-loop.
+func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
+	dev := r.Scheme.Device()
+	dev.ResetMeasurement()
+	if sr, ok := r.Scheme.(statsResetter); ok {
+		sr.ResetStats()
+	}
+
+	res := &Result{
+		Scheme:       r.Scheme.Name(),
+		ByBucket:     make(map[BucketKey]*OpClassMetrics),
+		WarmupWrites: r.warmupWrites,
+	}
+	spp := r.Conf.SectorsPerPage()
+	var inflight []float64 // completion times of outstanding requests (QD mode)
+	for i, req := range reqs {
+		issue := req.Time
+		if qd > 0 {
+			// Retire completed requests, then defer the issue to the
+			// earliest completion if the queue is still full.
+			for {
+				kept := inflight[:0]
+				earliest := -1.0
+				for _, c := range inflight {
+					if c > issue {
+						kept = append(kept, c)
+						if earliest < 0 || c < earliest {
+							earliest = c
+						}
+					}
+				}
+				inflight = kept
+				if len(inflight) < qd {
+					break
+				}
+				issue = earliest
+			}
+		}
+		var (
+			done float64
+			err  error
+		)
+		wBefore := dev.Count.DataWrites + dev.Count.GCWrites
+		rBefore := dev.Count.DataReads + dev.Count.GCReads
+		switch req.Op {
+		case trace.OpWrite:
+			done, err = r.Scheme.Write(req, issue)
+		case trace.OpRead:
+			done, err = r.Scheme.Read(req, issue)
+		default:
+			err = fmt.Errorf("sim: request %d has unknown op %d", i, req.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: replaying request %d (%v): %w", i, req, err)
+		}
+		if qd > 0 {
+			inflight = append(inflight, done)
+		}
+		// Latency is measured from the trace arrival, so queueing delay in
+		// the host queue (QD mode) counts toward the response time.
+		lat := done - req.Time
+		res.Requests++
+		if req.Op == trace.OpWrite {
+			res.WriteCount++
+			res.WriteLatencySum += lat
+			res.WriteLat.Add(lat)
+		} else {
+			res.ReadCount++
+			res.ReadLatencySum += lat
+			res.ReadLat.Add(lat)
+		}
+		b := res.Bucket(req.Op, req.Classify(spp))
+		b.Requests++
+		b.Sectors += int64(req.Count)
+		b.LatencySum += lat
+		b.Flushes += (dev.Count.DataWrites + dev.Count.GCWrites) - wBefore
+		b.FlashReads += (dev.Count.DataReads + dev.Count.GCReads) - rBefore
+	}
+
+	res.Counters = dev.Count
+	res.TableBytes = r.Scheme.TableBytes()
+	mean, sd, lo, hi := dev.Array.WearStats()
+	res.Wear = WearSummary{Mean: mean, StdDev: sd, Min: lo, Max: hi}
+	res.ChipBusyMs = make([]float64, dev.Sched.Chips())
+	for i := range res.ChipBusyMs {
+		res.ChipBusyMs[i] = dev.Sched.BusyTime(i)
+	}
+	if n := len(reqs); n > 0 {
+		res.TraceSpanMs = reqs[n-1].Time - reqs[0].Time
+	}
+	switch s := r.Scheme.(type) {
+	case *acrossftl.Scheme:
+		st := s.Stats()
+		res.Across = &st
+		res.CMT = s.CMTStats()
+	case *mrsm.Scheme:
+		res.CMT = s.CMTStats()
+	}
+	return res, nil
+}
+
+// Run is the one-call convenience: build, age, replay.
+func Run(kind SchemeKind, conf ssdconf.Config, reqs []trace.Request, age bool) (*Result, error) {
+	r, err := NewRunner(kind, conf)
+	if err != nil {
+		return nil, err
+	}
+	if age {
+		if err := r.Age(DefaultAging()); err != nil {
+			return nil, err
+		}
+	}
+	return r.Replay(reqs)
+}

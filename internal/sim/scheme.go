@@ -1,0 +1,55 @@
+// Package sim is the replay engine: it ages a simulated SSD the way §4.1
+// prescribes (90% of capacity used, ~39.8% valid after warm-up), replays a
+// block trace against one of the three FTL schemes, and collects the metrics
+// every figure of the evaluation is built from — per-request response times
+// split by direction and alignment class, flash read/write/erase counts
+// split into Map and Data components, DRAM accesses, and mapping-table
+// footprints.
+package sim
+
+import (
+	"fmt"
+
+	"across/internal/acrossftl"
+	"across/internal/ftl"
+	"across/internal/mrsm"
+	"across/internal/ssdconf"
+)
+
+// SchemeKind selects one of the compared FTL designs.
+type SchemeKind string
+
+const (
+	// KindFTL is the conventional page-level mapping baseline.
+	KindFTL SchemeKind = "FTL"
+	// KindMRSM is the sub-page multiregional comparator.
+	KindMRSM SchemeKind = "MRSM"
+	// KindAcross is the paper's Across-FTL.
+	KindAcross SchemeKind = "Across-FTL"
+	// KindDFTL is a demand-paged page-mapping baseline — an extension
+	// scheme outside the paper's comparison (see ftl.DFTL).
+	KindDFTL SchemeKind = "DFTL"
+)
+
+// Kinds returns the comparison order used in every figure.
+func Kinds() []SchemeKind { return []SchemeKind{KindFTL, KindMRSM, KindAcross} }
+
+// NewScheme constructs the scheme on a fresh device.
+func NewScheme(kind SchemeKind, conf *ssdconf.Config) (ftl.Scheme, error) {
+	switch kind {
+	case KindFTL:
+		return ftl.NewBaseline(conf)
+	case KindMRSM:
+		return mrsm.New(conf)
+	case KindAcross:
+		return acrossftl.New(conf)
+	case KindDFTL:
+		return ftl.NewDFTL(conf)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme kind %q", kind)
+	}
+}
+
+// statsResetter is implemented by schemes with scheme-level statistics that
+// must be cleared between warm-up and measurement.
+type statsResetter interface{ ResetStats() }

@@ -1,0 +1,190 @@
+package ssdconf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	c := Table1()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Table1 invalid: %v", err)
+	}
+	if got := c.BlocksTotal(); got != 262144 {
+		t.Errorf("BlocksTotal = %d, want 262144 (Table 1)", got)
+	}
+	if c.PagesPerBlock != 64 {
+		t.Errorf("PagesPerBlock = %d, want 64", c.PagesPerBlock)
+	}
+	if c.PageBytes != 8*1024 {
+		t.Errorf("PageBytes = %d, want 8192", c.PageBytes)
+	}
+	if c.ReadTime != 0.075 || c.ProgramTime != 2.0 || c.CacheAccess != 0.001 {
+		t.Errorf("timing = (%v,%v,%v), want (0.075, 2, 0.001)",
+			c.ReadTime, c.ProgramTime, c.CacheAccess)
+	}
+	if c.GCThreshold != 0.10 {
+		t.Errorf("GCThreshold = %v, want 0.10", c.GCThreshold)
+	}
+	if got, want := c.PhysBytes(), int64(262144)*64*8192; got != want {
+		t.Errorf("PhysBytes = %d, want %d (128 GiB)", got, want)
+	}
+}
+
+func TestSectorsPerPage(t *testing.T) {
+	for _, tc := range []struct {
+		pageBytes, want int
+	}{{4096, 8}, {8192, 16}, {16384, 32}} {
+		c := Table1().WithPageBytes(tc.pageBytes)
+		if got := c.SectorsPerPage(); got != tc.want {
+			t.Errorf("SectorsPerPage(%d) = %d, want %d", tc.pageBytes, got, tc.want)
+		}
+	}
+}
+
+func TestWithPageBytesPreservesCapacity(t *testing.T) {
+	base := Table1()
+	for _, pb := range []int{4096, 16384} {
+		v := base.WithPageBytes(pb)
+		if err := v.Validate(); err != nil {
+			t.Fatalf("variant %d invalid: %v", pb, err)
+		}
+		if v.PhysBytes() != base.PhysBytes() {
+			t.Errorf("capacity changed with %dB pages: %d != %d", pb, v.PhysBytes(), base.PhysBytes())
+		}
+		if v.LogicalSectors() != base.LogicalSectors() {
+			t.Errorf("logical space changed with %dB pages", pb)
+		}
+	}
+	tiny := Tiny()
+	if got := tiny.WithPageBytes(1 << 20).BlocksPerPlane; got != 8 {
+		t.Errorf("BlocksPerPlane clamp = %d, want 8", got)
+	}
+}
+
+func TestLogicalSpaceSmallerThanPhysical(t *testing.T) {
+	c := Table1()
+	if c.LogicalPages() >= c.PagesTotal() {
+		t.Fatalf("logical pages %d must be < physical pages %d",
+			c.LogicalPages(), c.PagesTotal())
+	}
+	if got, want := c.LogicalSectors(), c.LogicalPages()*int64(c.SectorsPerPage()); got != want {
+		t.Errorf("LogicalSectors = %d, want %d", got, want)
+	}
+}
+
+func TestScaledPreservesShape(t *testing.T) {
+	full := Table1()
+	s := Scaled(64)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Scaled invalid: %v", err)
+	}
+	if s.PageBytes != full.PageBytes || s.PagesPerBlock != full.PagesPerBlock {
+		t.Errorf("Scaled changed page geometry: %+v", s)
+	}
+	if s.GCThreshold != full.GCThreshold || s.ProgramTime != full.ProgramTime {
+		t.Errorf("Scaled changed FTL/timing parameters")
+	}
+	if s.BlocksPerPlane != full.BlocksPerPlane/64 {
+		t.Errorf("BlocksPerPlane = %d, want %d", s.BlocksPerPlane, full.BlocksPerPlane/64)
+	}
+}
+
+func TestScaledClampsSmallFactors(t *testing.T) {
+	if got := Scaled(0).BlocksPerPlane; got != Table1().BlocksPerPlane {
+		t.Errorf("Scaled(0) should be full scale, got %d blocks/plane", got)
+	}
+	if got := Scaled(1 << 30).BlocksPerPlane; got != 8 {
+		t.Errorf("huge factor should clamp to 8 blocks/plane, got %d", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }, "Channels"},
+		{"one block per plane", func(c *Config) { c.BlocksPerPlane = 1 }, "BlocksPerPlane"},
+		{"page smaller than sector", func(c *Config) { c.PageBytes = 256 }, "PageBytes"},
+		{"page not sector multiple", func(c *Config) { c.PageBytes = 1000 }, "multiple"},
+		{"zero read time", func(c *Config) { c.ReadTime = 0 }, "ReadTime"},
+		{"negative cache access", func(c *Config) { c.CacheAccess = -1 }, "CacheAccess"},
+		{"gc threshold zero", func(c *Config) { c.GCThreshold = 0 }, "GCThreshold"},
+		{"gc threshold too high", func(c *Config) { c.GCThreshold = 0.9 }, "GCThreshold"},
+		{"over-provision zero", func(c *Config) { c.OverProvision = 0 }, "OverProvision"},
+		{"subpages not dividing page", func(c *Config) { c.SubPagesPerPg = 5 }, "SubPagesPerPg"},
+		{"zero mrsm entry", func(c *Config) { c.MRSMEntryBytes = 0 }, "MRSMEntryBytes"},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := Table1()
+			m.mut(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted bad config %+v", c)
+			}
+			if !strings.Contains(err.Error(), m.want) {
+				t.Errorf("error %q does not mention %q", err, m.want)
+			}
+		})
+	}
+}
+
+func TestTinyIsValidAndSmall(t *testing.T) {
+	c := Tiny()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Tiny invalid: %v", err)
+	}
+	if c.PagesTotal() > 4096 {
+		t.Errorf("Tiny has %d pages; want something enumerable in tests", c.PagesTotal())
+	}
+}
+
+func TestDRAMBudgetDefaultsToBaselineTable(t *testing.T) {
+	c := Experiment()
+	if got, want := c.DRAMBudget(), c.BaselineTableBytes(); got != want {
+		t.Errorf("DRAMBudget = %d, want baseline table size %d", got, want)
+	}
+	c.DRAMBudgetBytes = 12345
+	if got := c.DRAMBudget(); got != 12345 {
+		t.Errorf("explicit DRAMBudget = %d, want 12345", got)
+	}
+}
+
+// TestGeometryArithmetic checks, by property, that the counting helpers are
+// mutually consistent for arbitrary (small, positive) geometries.
+func TestGeometryArithmetic(t *testing.T) {
+	f := func(ch, chip, die, plane, blk, pg uint8) bool {
+		c := Table1()
+		c.Channels = int(ch%8) + 1
+		c.ChipsPerChan = int(chip%4) + 1
+		c.DiesPerChip = int(die%4) + 1
+		c.PlanesPerDie = int(plane%4) + 1
+		c.BlocksPerPlane = int(blk%64) + 2
+		c.PagesPerBlock = int(pg%32) + 1
+		if c.PlanesTotal() != c.Channels*c.ChipsPerChan*c.DiesPerChip*c.PlanesPerDie {
+			return false
+		}
+		if c.BlocksTotal() != c.PlanesTotal()*c.BlocksPerPlane {
+			return false
+		}
+		if c.PagesTotal() != int64(c.BlocksTotal())*int64(c.PagesPerBlock) {
+			return false
+		}
+		return c.Chips() == c.Channels*c.ChipsPerChan
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsPageSize(t *testing.T) {
+	c := Table1()
+	s := c.String()
+	if !strings.Contains(s, "8KB") {
+		t.Errorf("String() = %q, want it to mention the 8KB page", s)
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The SYSTOR '17 LUN collection stores one request per CSV line:
+//
+//	timestamp,response_time,io_type,lun,offset,size
+//
+// with the timestamp in seconds (epoch or relative), response time in
+// seconds (often empty), io_type "R"/"W", offset and size in bytes.
+// Reader accepts that format (ignoring the recorded response time, which the
+// simulator recomputes) and Writer emits it, so real LUN traces drop in
+// unchanged and generated traces can be inspected with standard tools.
+
+// Reader parses a SYSTOR-format trace stream.
+type Reader struct {
+	s        *bufio.Scanner
+	line     int
+	baseTime float64
+	started  bool
+}
+
+// NewReader wraps an io.Reader holding CSV trace text.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next request, io.EOF at end of stream, or a descriptive
+// error naming the offending line. Timestamps are rebased so the first
+// request arrives at t=0, and converted from seconds to milliseconds.
+func (r *Reader) Read() (Request, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, err := r.parse(line)
+		if err != nil {
+			return Request{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		return req, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Request{}, err
+	}
+	return Request{}, io.EOF
+}
+
+func (r *Reader) parse(line string) (Request, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 6 {
+		return Request{}, fmt.Errorf("want 6 comma-separated fields, got %d", len(f))
+	}
+	ts, err := strconv.ParseFloat(strings.TrimSpace(f[0]), 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad timestamp %q: %v", f[0], err)
+	}
+	var op Op
+	switch strings.ToUpper(strings.TrimSpace(f[2])) {
+	case "R":
+		op = OpRead
+	case "W":
+		op = OpWrite
+	default:
+		return Request{}, fmt.Errorf("bad io_type %q (want R or W)", f[2])
+	}
+	offB, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad offset %q: %v", f[4], err)
+	}
+	sizeB, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+	if err != nil {
+		return Request{}, fmt.Errorf("bad size %q: %v", f[5], err)
+	}
+	if sizeB <= 0 {
+		return Request{}, fmt.Errorf("non-positive size %d", sizeB)
+	}
+	if offB < 0 {
+		return Request{}, fmt.Errorf("negative offset %d", offB)
+	}
+	if !r.started {
+		r.baseTime = ts
+		r.started = true
+	}
+	// Byte addresses round outwards to whole sectors, like a block layer.
+	startSec := offB / 512
+	endSec := (offB + sizeB + 511) / 512
+	return Request{
+		Time:   (ts - r.baseTime) * 1000, // s -> ms, rebased
+		Op:     op,
+		Offset: startSec,
+		Count:  int(endSec - startSec),
+	}, nil
+}
+
+// ReadAll slurps an entire trace.
+func ReadAll(r io.Reader) ([]Request, error) {
+	tr := NewReader(r)
+	var out []Request
+	for {
+		req, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+}
+
+// Writer emits requests in the SYSTOR CSV format.
+type Writer struct {
+	w   *bufio.Writer
+	lun int
+}
+
+// NewWriter creates a Writer; lun fills the trace's LUN column.
+func NewWriter(w io.Writer, lun int) *Writer {
+	return &Writer{w: bufio.NewWriter(w), lun: lun}
+}
+
+// Write emits one request.
+func (w *Writer) Write(req Request) error {
+	_, err := fmt.Fprintf(w.w, "%.6f,%.6f,%s,%d,%d,%d\n",
+		req.Time/1000, 0.0, req.Op, w.lun, req.Offset*512, int64(req.Count)*512)
+	return err
+}
+
+// Flush flushes buffered output; call it once after the last Write.
+func (w *Writer) Flush() error { return w.w.Flush() }

@@ -1,0 +1,111 @@
+package trace
+
+// Stats summarises a trace the way Table 2 of the paper does: request
+// count, write ratio, mean write size, and the across-page request ratio
+// for a given page size. Compute the same trace at several page sizes to
+// regenerate Fig 13.
+type Stats struct {
+	SectorsPerPage int
+
+	Requests int64
+	Writes   int64
+	Reads    int64
+
+	WriteSectors int64
+	ReadSectors  int64
+
+	Aligned   int64
+	Across    int64
+	Unaligned int64
+
+	AcrossWrites int64
+	AcrossReads  int64
+
+	MaxEndSector int64 // footprint: highest sector touched + 1
+	LastTime     float64
+}
+
+// NewStats prepares an accumulator for a page of spp sectors.
+func NewStats(spp int) *Stats { return &Stats{SectorsPerPage: spp} }
+
+// Add folds one request into the statistics.
+func (s *Stats) Add(r Request) {
+	s.Requests++
+	if r.Op == OpWrite {
+		s.Writes++
+		s.WriteSectors += int64(r.Count)
+	} else {
+		s.Reads++
+		s.ReadSectors += int64(r.Count)
+	}
+	switch r.Classify(s.SectorsPerPage) {
+	case ClassAligned:
+		s.Aligned++
+	case ClassAcross:
+		s.Across++
+		if r.Op == OpWrite {
+			s.AcrossWrites++
+		} else {
+			s.AcrossReads++
+		}
+	default:
+		s.Unaligned++
+	}
+	if end := r.End(); end > s.MaxEndSector {
+		s.MaxEndSector = end
+	}
+	if r.Time > s.LastTime {
+		s.LastTime = r.Time
+	}
+}
+
+// AddAll folds a whole trace.
+func (s *Stats) AddAll(reqs []Request) {
+	for _, r := range reqs {
+		s.Add(r)
+	}
+}
+
+// WriteRatio returns the fraction of requests that are writes ("Write R" in
+// Table 2).
+func (s *Stats) WriteRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Requests)
+}
+
+// AvgWriteKB returns the mean write size in KB ("Write SZ" in Table 2).
+func (s *Stats) AvgWriteKB() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.WriteSectors) / 2 / float64(s.Writes)
+}
+
+// AcrossRatio returns the fraction of requests that are across-page
+// ("Across R" in Table 2, the series of Figs 2 and 13).
+func (s *Stats) AcrossRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Across) / float64(s.Requests)
+}
+
+// AlignedRatio returns the fraction of fully page-aligned requests.
+func (s *Stats) AlignedRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Aligned) / float64(s.Requests)
+}
+
+// FootprintBytes returns the trace's address footprint in bytes.
+func (s *Stats) FootprintBytes() int64 { return s.MaxEndSector * 512 }
+
+// Measure is a convenience that computes Stats over a slice in one call.
+func Measure(reqs []Request, spp int) *Stats {
+	s := NewStats(spp)
+	s.AddAll(reqs)
+	return s
+}

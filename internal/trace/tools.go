@@ -1,0 +1,106 @@
+package trace
+
+import "sort"
+
+// This file holds trace-manipulation helpers used by the tools and by
+// experiment setup: filtering, time-windowing, splitting and concatenation.
+// All helpers are non-destructive (they return fresh slices).
+
+// Filter returns the requests satisfying pred, preserving order.
+func Filter(reqs []Request, pred func(Request) bool) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OnlyOp returns the requests with the given direction.
+func OnlyOp(reqs []Request, op Op) []Request {
+	return Filter(reqs, func(r Request) bool { return r.Op == op })
+}
+
+// OnlyClass returns the requests of one alignment class at a page size of
+// spp sectors.
+func OnlyClass(reqs []Request, class Class, spp int) []Request {
+	return Filter(reqs, func(r Request) bool { return r.Classify(spp) == class })
+}
+
+// Window returns the requests with Time in [from, to), rebased so the
+// window starts at t=0.
+func Window(reqs []Request, from, to float64) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if r.Time >= from && r.Time < to {
+			r.Time -= from
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Head returns the first n requests (all of them if n exceeds the length).
+func Head(reqs []Request, n int) []Request {
+	if n > len(reqs) {
+		n = len(reqs)
+	}
+	out := make([]Request, n)
+	copy(out, reqs[:n])
+	return out
+}
+
+// Concat joins traces back to back in time: each subsequent trace is
+// rebased to start right after the previous one ends (plus gap ms).
+func Concat(gap float64, traces ...[]Request) []Request {
+	var out []Request
+	base := 0.0
+	for _, tr := range traces {
+		var last float64
+		for _, r := range tr {
+			r.Time += base
+			out = append(out, r)
+			if r.Time > last {
+				last = r.Time
+			}
+		}
+		base = last + gap
+	}
+	return out
+}
+
+// Interleave merges traces by timestamp (each keeps its own timeline),
+// producing one stream sorted by arrival time — the multi-tenant view of
+// several LUNs sharing a device. The sort is stable so equal timestamps
+// keep their input order.
+func Interleave(traces ...[]Request) []Request {
+	var out []Request
+	for _, tr := range traces {
+		out = append(out, tr...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// ShiftOffsets adds delta sectors to every request's offset — used to place
+// several traces in disjoint regions of one address space.
+func ShiftOffsets(reqs []Request, delta int64) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.Offset += delta
+		out[i] = r
+	}
+	return out
+}
+
+// ValidateAll checks every request against a device size and returns the
+// index of the first invalid request (-1 if all pass) with its error.
+func ValidateAll(reqs []Request, logicalSectors int64) (int, error) {
+	for i, r := range reqs {
+		if err := r.Validate(logicalSectors); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The 8 KB page of Table 1 holds 16 sectors.
+const spp8k = 16
+
+func TestClassifyPaperFigure1Examples(t *testing.T) {
+	// Figure 1 of the paper, page size 8 KB. Addresses in KB * 2 sectors.
+	cases := []struct {
+		name string
+		req  Request
+		want Class
+	}{
+		{"write(1024K,24KB) aligned", Request{Op: OpWrite, Offset: 2048, Count: 48}, ClassAligned},
+		{"write(1028K,20KB) unaligned", Request{Op: OpWrite, Offset: 2056, Count: 40}, ClassUnaligned},
+		{"write(1028K,8KB) across-page", Request{Op: OpWrite, Offset: 2056, Count: 16}, ClassAcross},
+		{"write(1028K,6K) across-page (Fig 3)", Request{Op: OpWrite, Offset: 2056, Count: 12}, ClassAcross},
+		{"read(1030K,4K) across-page (Fig 7a)", Request{Op: OpRead, Offset: 2060, Count: 8}, ClassAcross},
+		{"sub-page single-page write", Request{Op: OpWrite, Offset: 2048, Count: 4}, ClassUnaligned},
+		{"full single page", Request{Op: OpWrite, Offset: 2048, Count: 16}, ClassAligned},
+		{"page-sized but across", Request{Op: OpWrite, Offset: 2052, Count: 16}, ClassAcross},
+		{"three pages", Request{Op: OpWrite, Offset: 2052, Count: 40}, ClassUnaligned},
+	}
+	for _, tc := range cases {
+		if got := tc.req.Classify(spp8k); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyDegenerate(t *testing.T) {
+	if got := (Request{Count: 0}).Classify(spp8k); got != ClassUnaligned {
+		t.Errorf("zero-count request classified %v", got)
+	}
+}
+
+func TestPagesAndLPNs(t *testing.T) {
+	r := Request{Offset: 2056, Count: 12} // write(1028K, 6K)
+	if r.FirstLPN(spp8k) != 128 || r.LastLPN(spp8k) != 129 {
+		t.Fatalf("LPNs = %d..%d, want 128..129 (paper Fig 3)", r.FirstLPN(spp8k), r.LastLPN(spp8k))
+	}
+	if r.Pages(spp8k) != 2 {
+		t.Fatalf("Pages = %d, want 2", r.Pages(spp8k))
+	}
+	if r.End() != 2068 {
+		t.Fatalf("End = %d, want 2068", r.End())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Request{Time: 1, Op: OpWrite, Offset: 10, Count: 5}
+	if err := good.Validate(100); err != nil {
+		t.Fatalf("good request rejected: %v", err)
+	}
+	bad := []Request{
+		{Count: 0, Offset: 1},
+		{Count: -2, Offset: 1},
+		{Count: 1, Offset: -1},
+		{Count: 1, Offset: 0, Time: -5},
+		{Count: 10, Offset: 95},
+	}
+	for i, r := range bad {
+		if err := r.Validate(100); err == nil {
+			t.Errorf("bad request %d accepted: %+v", i, r)
+		}
+	}
+	if err := (Request{Count: 10, Offset: 1 << 40}).Validate(0); err != nil {
+		t.Errorf("bound check should be disabled with 0: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := Request{Op: OpWrite, Offset: 2056, Count: 12, Time: 1}
+	if got := r.String(); !strings.Contains(got, "write(1028K, 6K)") {
+		t.Errorf("String = %q, want paper notation write(1028K, 6K)", got)
+	}
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Error("Op.String mismatch")
+	}
+	for _, c := range []Class{ClassAligned, ClassAcross, ClassUnaligned, Class(9)} {
+		if c.String() == "" {
+			t.Error("empty Class string")
+		}
+	}
+}
+
+func TestReaderParsesSystorFormat(t *testing.T) {
+	in := `# comment line
+1455276421.123456,0.000912,R,3,1052672,4096
+
+1455276421.623456,0.000345,W,3,1052672,6144
+`
+	reqs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests, want 2", len(reqs))
+	}
+	r0 := reqs[0]
+	if r0.Time != 0 {
+		t.Errorf("first timestamp should rebase to 0, got %v", r0.Time)
+	}
+	if r0.Op != OpRead || r0.Offset != 1052672/512 || r0.Count != 8 {
+		t.Errorf("r0 = %+v", r0)
+	}
+	r1 := reqs[1]
+	if r1.Time < 499.9 || r1.Time > 500.1 {
+		t.Errorf("r1.Time = %v ms, want ~500", r1.Time)
+	}
+	if r1.Op != OpWrite || r1.Count != 12 {
+		t.Errorf("r1 = %+v, want 12-sector write", r1)
+	}
+}
+
+func TestReaderRoundsPartialSectors(t *testing.T) {
+	// offset 100 bytes, size 1000 bytes: sectors [0, 3).
+	reqs, err := ReadAll(strings.NewReader("0,0,W,0,100,1000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].Offset != 0 || reqs[0].Count != 3 {
+		t.Fatalf("got [%d,+%d), want [0,+3)", reqs[0].Offset, reqs[0].Count)
+	}
+}
+
+func TestReaderRejectsCorruptLines(t *testing.T) {
+	bad := []string{
+		"1,2,3\n",                 // too few fields
+		"x,0,R,0,0,512\n",         // bad timestamp
+		"0,0,Q,0,0,512\n",         // bad op
+		"0,0,R,0,abc,512\n",       // bad offset
+		"0,0,R,0,0,xyz\n",         // bad size
+		"0,0,R,0,0,0\n",           // zero size
+		"0,0,R,0,-512,512\n",      // negative offset
+		"0,0,R,0,0,512,extra,1\n", // too many fields
+	}
+	for _, in := range bad {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("corrupt line accepted: %q", in)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error for %q does not name the line: %v", in, err)
+		}
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var orig []Request
+		tm := 0.0
+		for i := 0; i < 50; i++ {
+			tm += rng.Float64() * 10
+			orig = append(orig, Request{
+				Time:   tm,
+				Op:     Op(rng.Intn(2)),
+				Offset: rng.Int63n(1 << 20),
+				Count:  rng.Intn(64) + 1,
+			})
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb, 3)
+		for _, r := range orig {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := ReadAll(strings.NewReader(sb.String()))
+		if err != nil || len(got) != len(orig) {
+			return false
+		}
+		for i := range orig {
+			if got[i].Op != orig[i].Op || got[i].Offset != orig[i].Offset || got[i].Count != orig[i].Count {
+				return false
+			}
+			// Times survive to microsecond precision, rebased on the first.
+			if d := (got[i].Time) - (orig[i].Time - orig[0].Time); d > 0.01 || d < -0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsTable2Metrics(t *testing.T) {
+	reqs := []Request{
+		{Op: OpWrite, Offset: 2056, Count: 12}, // across write (6 KB)
+		{Op: OpWrite, Offset: 2048, Count: 16}, // aligned write (8 KB)
+		{Op: OpRead, Offset: 2060, Count: 8},   // across read
+		{Op: OpRead, Offset: 0, Count: 4},      // unaligned read
+		{Op: OpWrite, Offset: 4096, Count: 32}, // aligned write (16 KB)
+	}
+	s := Measure(reqs, spp8k)
+	if s.Requests != 5 || s.Writes != 3 || s.Reads != 2 {
+		t.Fatalf("counts = %d/%d/%d", s.Requests, s.Writes, s.Reads)
+	}
+	if got := s.WriteRatio(); got != 0.6 {
+		t.Errorf("WriteRatio = %v, want 0.6", got)
+	}
+	if got := s.AvgWriteKB(); got != 10 {
+		t.Errorf("AvgWriteKB = %v, want 10 (6+8+16)/3", got)
+	}
+	if got := s.AcrossRatio(); got != 0.4 {
+		t.Errorf("AcrossRatio = %v, want 0.4", got)
+	}
+	if got := s.AlignedRatio(); got != 0.4 {
+		t.Errorf("AlignedRatio = %v, want 0.4", got)
+	}
+	if s.AcrossWrites != 1 || s.AcrossReads != 1 {
+		t.Errorf("across split = %d/%d, want 1/1", s.AcrossWrites, s.AcrossReads)
+	}
+	if got := s.FootprintBytes(); got != (4096+32)*512 {
+		t.Errorf("FootprintBytes = %d", got)
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	s := NewStats(spp8k)
+	if s.WriteRatio() != 0 || s.AvgWriteKB() != 0 || s.AcrossRatio() != 0 || s.AlignedRatio() != 0 {
+		t.Error("empty-trace ratios should be 0")
+	}
+}
+
+// Property: across-page ratio never increases when the page size grows
+// (the monotonicity behind Fig 13) for requests no larger than the smaller
+// page. A request that crosses a 16-sector boundary may or may not cross a
+// 32-sector boundary, but never the reverse.
+func TestAcrossMonotoneInPageSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var reqs []Request
+		for i := 0; i < 200; i++ {
+			reqs = append(reqs, Request{
+				Op:     Op(rng.Intn(2)),
+				Offset: rng.Int63n(1 << 16),
+				Count:  rng.Intn(8) + 1, // <= 8 sectors <= every page size
+			})
+		}
+		r8 := Measure(reqs, 8).AcrossRatio()
+		r16 := Measure(reqs, 16).AcrossRatio()
+		r32 := Measure(reqs, 32).AcrossRatio()
+		return r16 <= r8 && r32 <= r16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderEOFIsClean(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want io.EOF", err)
+	}
+}
