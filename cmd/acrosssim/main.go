@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"across"
+	"across/internal/profiling"
 )
 
 func main() {
@@ -28,7 +29,16 @@ func main() {
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 	)
+	prof := profiling.Register()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "acrosssim:", err)
+		}
+	}()
 
 	var scheme across.Scheme
 	switch *schemeName {

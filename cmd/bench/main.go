@@ -1,0 +1,143 @@
+// Command bench measures raw simulator replay throughput for each FTL
+// scheme and writes a machine-readable JSON report, so performance work on
+// the replay hot path can be tracked across commits.
+//
+// Usage:
+//
+//	bench                    # print the report to stdout
+//	bench -o BENCH_PR1.json  # also write it to a file
+//
+// The benchmark device and workload mirror BenchmarkReplayThroughput in the
+// repository's bench suite: Table 1 flash timing on a 4-chip 256 MiB array,
+// replaying the lun1 profile at 0.4% scale against an aged device.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchmark     string         `json:"benchmark"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Device        string         `json:"device"`
+	TraceRequests int            `json:"trace_requests"`
+	Schemes       []SchemeReport `json:"schemes"`
+}
+
+// SchemeReport is one scheme's measured replay performance.
+type SchemeReport struct {
+	Scheme         string  `json:"scheme"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+}
+
+func benchSSD() ssdconf.Config {
+	c := ssdconf.Table1()
+	c.Channels = 4
+	c.ChipsPerChan = 1
+	c.DiesPerChip = 1
+	c.PlanesPerDie = 1
+	c.BlocksPerPlane = 128
+	c.PagesPerBlock = 32
+	return c
+}
+
+func benchTrace(conf ssdconf.Config) ([]trace.Request, error) {
+	p, err := workload.LunProfile("lun1")
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p.Scale(0.004), conf.LogicalSectors())
+}
+
+// replayResult benchmarks one scheme: per iteration, replay the whole trace
+// on a pre-aged runner (aging and construction are outside the timed region).
+func replayResult(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request) (testing.BenchmarkResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		r, err := sim.NewRunner(kind, conf)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := r.Age(sim.DefaultAging()); err != nil {
+			runErr = err
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Replay(reqs); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	return res, runErr
+}
+
+func main() {
+	out := flag.String("o", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	conf := benchSSD()
+	reqs, err := benchTrace(conf)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		Benchmark:     "ReplayThroughput",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Device:        conf.String(),
+		TraceRequests: len(reqs),
+	}
+	for _, kind := range sim.Kinds() {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", kind)
+		r, err := replayResult(kind, conf, reqs)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Schemes = append(rep.Schemes, SchemeReport{
+			Scheme:         string(kind),
+			Iterations:     r.N,
+			NsPerOp:        r.NsPerOp(),
+			RequestsPerSec: float64(len(reqs)) * float64(r.N) / r.T.Seconds(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+		})
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"across"
+	"across/internal/profiling"
 )
 
 func main() {
@@ -36,7 +37,16 @@ func main() {
 		format  = flag.String("format", "text", "table format: text, markdown, csv")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
+	prof := profiling.Register()
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	if *list {
 		for _, id := range across.ExperimentIDs() {

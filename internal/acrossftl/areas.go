@@ -1,8 +1,6 @@
 package acrossftl
 
 import (
-	"sort"
-
 	"across/internal/flash"
 	"across/internal/ftl"
 	"across/internal/mapping"
@@ -31,33 +29,74 @@ func unionSpan(a, b span) span {
 // gaps returns the sub-intervals of window not covered by any of the given
 // intervals — the sectors a merge must fetch from normally mapped pages.
 func gaps(window span, covered []span) []span {
-	sorted := make([]span, 0, len(covered))
-	for _, c := range covered {
-		if c.intersects(window) {
-			if c.Start < window.Start {
-				c.Start = window.Start
-			}
-			if c.End > window.End {
-				c.End = window.End
-			}
-			sorted = append(sorted, c)
-		}
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
-	var out []span
+	return appendGaps(nil, window, covered)
+}
+
+// appendGaps appends the ascending, disjoint uncovered sub-intervals of
+// window to dst and returns the extended slice. The sweep is quadratic in
+// len(covered), which is at most a handful of areas per request, and does
+// no allocation or sorting — the replay hot path calls it per request.
+func appendGaps(dst []span, window span, covered []span) []span {
 	cur := window.Start
-	for _, c := range sorted {
-		if c.Start > cur {
-			out = append(out, span{cur, c.Start})
+	for cur < window.End {
+		// Advance cur through every covering interval that contains it.
+		for advanced := true; advanced; {
+			advanced = false
+			for _, c := range covered {
+				if c.Start <= cur && c.End > cur {
+					cur = c.End
+					advanced = true
+				}
+			}
 		}
-		if c.End > cur {
-			cur = c.End
+		if cur >= window.End {
+			break
+		}
+		// A gap starts at cur and runs to the nearest covering start.
+		gapEnd := window.End
+		for _, c := range covered {
+			if c.Start > cur && c.Start < gapEnd {
+				gapEnd = c.Start
+			}
+		}
+		dst = append(dst, span{cur, gapEnd})
+		cur = gapEnd
+	}
+	return dst
+}
+
+// hasGaps reports whether any sector of window is uncovered — the
+// allocation-free form rollback uses per affected page.
+func hasGaps(window span, covered []span) bool {
+	cur := window.Start
+	for advanced := true; advanced; {
+		advanced = false
+		for _, c := range covered {
+			if c.Start <= cur && c.End > cur {
+				cur = c.End
+				advanced = true
+			}
 		}
 	}
-	if cur < window.End {
-		out = append(out, span{cur, window.End})
+	return cur < window.End
+}
+
+// insertSortedUnique inserts v into an ascending slice unless present,
+// returning the extended slice. The slices involved hold at most a few
+// logical page numbers, so linear insertion beats map-and-sort without
+// allocating.
+func insertSortedUnique(dst []int64, v int64) []int64 {
+	i := len(dst)
+	for i > 0 && dst[i-1] > v {
+		i--
 	}
-	return out
+	if i > 0 && dst[i-1] == v {
+		return dst
+	}
+	dst = append(dst, 0)
+	copy(dst[i+1:], dst[i:])
+	dst[i] = v
+	return dst
 }
 
 // area pairs a live AMT index with its entry.
@@ -90,15 +129,18 @@ func (s *Scheme) areaAt(lpn int64) (area, bool) {
 // overlapping collects the live areas whose sector range intersects w.
 // An area keyed at LPN L covers sectors inside pages L and L+1, so any area
 // intersecting w must be keyed between firstLPN(w)-1 and lastLPN(w).
+// The returned slice aliases a per-scheme scratch buffer: it is valid until
+// the next overlapping/conflicting call and must not be retained.
 func (s *Scheme) overlapping(w span) []area {
 	first := w.Start/int64(s.SPP) - 1
 	last := (w.End - 1) / int64(s.SPP)
-	var out []area
+	out := s.areasBuf[:0]
 	for lpn := first; lpn <= last; lpn++ {
 		if a, ok := s.areaAt(lpn); ok && s.spanOf(a.e).intersects(w) {
 			out = append(out, a)
 		}
 	}
+	s.areasBuf = out
 	return out
 }
 
@@ -117,6 +159,7 @@ func (s *Scheme) conflicting(w span, key int64) []area {
 		}
 		if !seen {
 			out = append(out, a)
+			s.areasBuf = out
 		}
 	}
 	return out

@@ -1,8 +1,6 @@
 package acrossftl
 
 import (
-	"sort"
-
 	"across/internal/clock"
 	"across/internal/flash"
 	"across/internal/ftl"
@@ -25,11 +23,13 @@ type Source struct {
 // effects (§3.3.2): sectors covered by a live across-page area come from the
 // area's page (newest data); the remainder comes from the normally mapped
 // pages. Tests use the plan to verify source-selection correctness.
+// The returned slice aliases a per-scheme scratch buffer: it is valid until
+// the next planRead call and must not be retained.
 func (s *Scheme) planRead(r trace.Request) []Source {
 	w := reqSpan(r.Offset, r.End())
 	areas := s.overlapping(w)
-	var srcs []Source
-	covered := make([]span, 0, len(areas))
+	srcs := s.srcsBuf[:0]
+	covered := s.covBuf[:0]
 	for _, a := range areas {
 		sp := s.spanOf(a.e)
 		covered = append(covered, sp)
@@ -45,10 +45,13 @@ func (s *Scheme) planRead(r trace.Request) []Source {
 			FromArea: true, AMTIdx: a.idx,
 		})
 	}
+	s.covBuf = covered
 	// Group uncovered sectors by logical page; one read per mapped page.
-	type pageNeed struct{ lo, hi int64 }
-	needs := map[int64]*pageNeed{}
-	for _, g := range gaps(w, covered) {
+	// Gaps come out ascending, so the per-page needs build sorted and
+	// same-page ranges from adjacent gaps merge in place.
+	needs := s.needsBuf[:0]
+	s.gapsBuf = appendGaps(s.gapsBuf[:0], w, covered)
+	for _, g := range s.gapsBuf {
 		for lpn := g.Start / int64(s.SPP); lpn <= (g.End-1)/int64(s.SPP); lpn++ {
 			pw := span{lpn * int64(s.SPP), (lpn + 1) * int64(s.SPP)}
 			lo, hi := g.Start, g.End
@@ -58,31 +61,27 @@ func (s *Scheme) planRead(r trace.Request) []Source {
 			if hi > pw.End {
 				hi = pw.End
 			}
-			if n, ok := needs[lpn]; ok {
-				if lo < n.lo {
-					n.lo = lo
+			if n := len(needs); n > 0 && needs[n-1].lpn == lpn {
+				if lo < needs[n-1].lo {
+					needs[n-1].lo = lo
 				}
-				if hi > n.hi {
-					n.hi = hi
+				if hi > needs[n-1].hi {
+					needs[n-1].hi = hi
 				}
 			} else {
-				needs[lpn] = &pageNeed{lo, hi}
+				needs = append(needs, pageNeed{lpn, lo, hi})
 			}
 		}
 	}
-	lpns := make([]int64, 0, len(needs))
-	for lpn := range needs {
-		lpns = append(lpns, lpn)
-	}
-	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
-	for _, lpn := range lpns {
-		ppn := s.PMT.PPNOf(lpn)
+	s.needsBuf = needs
+	for _, n := range needs {
+		ppn := s.PMT.PPNOf(n.lpn)
 		if ppn == flash.NilPPN {
 			continue // never written: zeroes, no flash work
 		}
-		n := needs[lpn]
-		srcs = append(srcs, Source{PPN: ppn, Start: n.lo, End: n.hi, LPN: lpn})
+		srcs = append(srcs, Source{PPN: ppn, Start: n.lo, End: n.hi, LPN: n.lpn})
 	}
+	s.srcsBuf = srcs
 	return srcs
 }
 

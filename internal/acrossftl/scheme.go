@@ -48,6 +48,23 @@ type Scheme struct {
 
 	opts  Options
 	stats Stats
+
+	// Per-request scratch buffers, reused so the steady-state write/read
+	// paths allocate nothing. Each is valid only within one request.
+	areasBuf []area
+	covBuf   []span
+	gapsBuf  []span
+	spanBuf  []span
+	srcsBuf  []Source
+	needsBuf []pageNeed
+	lpnsBuf  []int64
+}
+
+// pageNeed is one normally mapped page a read plan or merge must fetch,
+// with the absolute sector range needed from it.
+type pageNeed struct {
+	lpn    int64
+	lo, hi int64
 }
 
 // New builds Across-FTL on a fresh device with the paper's defaults.

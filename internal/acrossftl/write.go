@@ -1,8 +1,6 @@
 package acrossftl
 
 import (
-	"sort"
-
 	"across/internal/clock"
 	"across/internal/flash"
 	"across/internal/ftl"
@@ -140,7 +138,7 @@ func (s *Scheme) supersedeAndWrite(r trace.Request, confl []area, now float64, j
 func (s *Scheme) aMerge(w, union span, confl []area, profitable bool, now float64, join *clock.Join) (float64, error) {
 	var mapDelay float64
 	issue := now
-	covered := []span{w}
+	covered := append(s.covBuf[:0], w)
 	for _, a := range confl {
 		d, ready, err := s.touchAMT(a.idx, true, now)
 		if err != nil {
@@ -160,15 +158,21 @@ func (s *Scheme) aMerge(w, union span, confl []area, profitable bool, now float6
 			}
 		}
 	}
+	s.covBuf = covered
 	// Fetch gap sectors from normally mapped pages (at most the two pages
-	// the union touches).
-	gapPages := map[int64]bool{}
-	for _, g := range gaps(union, covered) {
+	// the union touches). Gaps come out ascending, so appending with a
+	// same-as-last check yields the deduplicated page list.
+	gapPages := s.lpnsBuf[:0]
+	s.gapsBuf = appendGaps(s.gapsBuf[:0], union, covered)
+	for _, g := range s.gapsBuf {
 		for lpn := g.Start / int64(s.SPP); lpn <= (g.End-1)/int64(s.SPP); lpn++ {
-			gapPages[lpn] = true
+			if n := len(gapPages); n == 0 || gapPages[n-1] != lpn {
+				gapPages = append(gapPages, lpn)
+			}
 		}
 	}
-	for lpn := range gapPages {
+	s.lpnsBuf = gapPages
+	for _, lpn := range gapPages {
 		mapDelay += s.Dev.DRAMAccess(1)
 		if ppn := s.PMT.PPNOf(lpn); ppn != flash.NilPPN {
 			rdone, err := s.Dev.Read(ppn, now, ftl.OpData)
@@ -212,15 +216,16 @@ func (s *Scheme) rollback(r trace.Request, w span, confl []area, now float64, jo
 	issue := now
 
 	// Rescue area contents the write does not replace.
-	areaSpans := make([]span, len(confl))
-	for i, a := range confl {
+	areaSpans := s.spanBuf[:0]
+	for _, a := range confl {
 		d, ready, err := s.touchAMT(a.idx, true, now)
 		if err != nil {
 			return mapDelay, err
 		}
 		mapDelay += d
-		areaSpans[i] = s.spanOf(a.e)
-		if !w.contains(areaSpans[i]) {
+		sp := s.spanOf(a.e)
+		areaSpans = append(areaSpans, sp)
+		if !w.contains(sp) {
 			rdone, err := s.Dev.Read(s.AMT.Get(a.idx).APPN, ready, ftl.OpData)
 			if err != nil {
 				return mapDelay, err
@@ -230,31 +235,32 @@ func (s *Scheme) rollback(r trace.Request, w span, confl []area, now float64, jo
 			}
 		}
 	}
+	s.spanBuf = areaSpans
 
-	// Affected logical pages: everything the write or an area touches.
-	pages := map[int64]bool{}
+	// Affected logical pages, ascending and unique: everything the write
+	// or an area touches. The set is a handful of pages, so sorted
+	// insertion into a scratch slice replaces the map-and-sort.
+	order := s.lpnsBuf[:0]
 	for lpn := r.FirstLPN(s.SPP); lpn <= r.LastLPN(s.SPP); lpn++ {
-		pages[lpn] = true
+		order = append(order, lpn)
 	}
 	for _, sp := range areaSpans {
 		for lpn := sp.Start / int64(s.SPP); lpn <= (sp.End-1)/int64(s.SPP); lpn++ {
-			pages[lpn] = true
+			order = insertSortedUnique(order, lpn)
 		}
 	}
+	s.lpnsBuf = order
 
 	// Assemble and program each affected page. Sectors supplied by neither
 	// the write nor rescued area data come from the page's old copy (RMW).
-	covered := append([]span{w}, areaSpans...)
-	order := make([]int64, 0, len(pages))
-	for lpn := range pages {
-		order = append(order, lpn)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	covered := append(s.covBuf[:0], w)
+	covered = append(covered, areaSpans...)
+	s.covBuf = covered
 	for _, lpn := range order {
 		mapDelay += s.Dev.DRAMAccess(1)
 		pageWindow := span{lpn * int64(s.SPP), (lpn + 1) * int64(s.SPP)}
 		pissue := issue
-		if len(gaps(pageWindow, covered)) > 0 {
+		if hasGaps(pageWindow, covered) {
 			if old := s.PMT.PPNOf(lpn); old != flash.NilPPN {
 				rdone, err := s.Dev.Read(old, now, ftl.OpData)
 				if err != nil {

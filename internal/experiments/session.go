@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,12 +63,21 @@ type runKey struct {
 	pageBytes int
 }
 
+// traceEntry singleflights one trace generation: concurrent workers asking
+// for the same profile share one Generate call instead of racing to produce
+// (and momentarily hold) duplicate request slices.
+type traceEntry struct {
+	once sync.Once
+	reqs []trace.Request
+	err  error
+}
+
 // Session memoises traces and replays for one Config.
 type Session struct {
 	Cfg Config
 
 	mu      sync.Mutex
-	traces  map[string][]trace.Request
+	traces  map[string]*traceEntry
 	results map[runKey]*sim.Result
 }
 
@@ -84,7 +94,7 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	return &Session{
 		Cfg:     cfg,
-		traces:  make(map[string][]trace.Request),
+		traces:  make(map[string]*traceEntry),
 		results: make(map[runKey]*sim.Result),
 	}, nil
 }
@@ -104,19 +114,16 @@ func (s *Session) Luns() []workload.Profile {
 // replay the same stream.
 func (s *Session) Trace(p workload.Profile) ([]trace.Request, error) {
 	s.mu.Lock()
-	if reqs, ok := s.traces[p.Name]; ok {
-		s.mu.Unlock()
-		return reqs, nil
+	e, ok := s.traces[p.Name]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[p.Name] = e
 	}
 	s.mu.Unlock()
-	reqs, err := workload.Generate(p, s.Cfg.SSD.LogicalSectors())
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.traces[p.Name] = reqs
-	s.mu.Unlock()
-	return reqs, nil
+	e.once.Do(func() {
+		e.reqs, e.err = workload.Generate(p, s.Cfg.SSD.LogicalSectors())
+	})
+	return e.reqs, e.err
 }
 
 // Result returns the memoised replay for one (scheme, lun, page size),
@@ -178,7 +185,11 @@ func (s *Session) Results(pageBytes int, luns []string, kinds []sim.SchemeKind) 
 		close(jobs)
 		wg.Wait()
 		close(errs)
-		if err := <-errs; err != nil {
+		var all []error
+		for err := range errs {
+			all = append(all, err)
+		}
+		if err := errors.Join(all...); err != nil {
 			return nil, err
 		}
 	}

@@ -58,24 +58,28 @@ type Tag struct {
 // NilTag is stored on free pages.
 var NilTag = Tag{Kind: 0xFF, Key: -1}
 
-// block is the per-block metadata: page states, OOB tags, the in-order
-// program cursor and the erase counter.
-type block struct {
-	state      []PageState
-	tags       []Tag
-	writePtr   int   // next programmable page index; == len(state) when full
-	validCount int   // pages in PageValid
-	eraseCount int64 // endurance metric
-}
-
 // Array is the NAND flash array: pure state machine, no timing. Timing and
 // operation counting live in the ftl.Device facade so that the same array
 // can be driven by warm-up (untimed) and measured phases.
+//
+// Storage is flattened into two contiguous device-wide arrays indexed by
+// PPN (page states and OOB tags) plus three per-block metadata arrays
+// indexed by BlockID. The flat layout keeps GC migration scans, recovery
+// scans, CountStates and WearStats cache-friendly and makes the array
+// itself allocation-free after construction.
 type Array struct {
-	Geo    Geometry
-	blocks []block
+	Geo Geometry
+
+	state []PageState // per page, indexed by PPN
+	tags  []Tag       // per page, indexed by PPN
+
+	writePtr   []int32 // per block: next programmable page index
+	validCount []int32 // per block: pages in PageValid
+	eraseCount []int64 // per block: endurance metric
 
 	erases int64 // total erase operations (the paper's endurance metric)
+
+	vidx victimIndex // incrementally maintained GC victim index
 }
 
 // NewArray builds an erased flash array for the configuration.
@@ -84,16 +88,18 @@ func NewArray(c *ssdconf.Config) (*Array, error) {
 		return nil, err
 	}
 	geo := NewGeometry(c)
-	a := &Array{Geo: geo, blocks: make([]block, geo.TotalBlocks())}
-	for i := range a.blocks {
-		a.blocks[i] = block{
-			state: make([]PageState, geo.PagesPerBlock),
-			tags:  make([]Tag, geo.PagesPerBlock),
-		}
-		for j := range a.blocks[i].tags {
-			a.blocks[i].tags[j] = NilTag
-		}
+	a := &Array{
+		Geo:        geo,
+		state:      make([]PageState, geo.TotalPages()),
+		tags:       make([]Tag, geo.TotalPages()),
+		writePtr:   make([]int32, geo.TotalBlocks()),
+		validCount: make([]int32, geo.TotalBlocks()),
+		eraseCount: make([]int64, geo.TotalBlocks()),
 	}
+	for i := range a.tags {
+		a.tags[i] = NilTag
+	}
+	a.vidx.init(&geo)
 	return a, nil
 }
 
@@ -107,16 +113,10 @@ func MustNewArray(c *ssdconf.Config) *Array {
 }
 
 // State returns the state of a page.
-func (a *Array) State(p PPN) PageState {
-	b := &a.blocks[a.Geo.BlockOf(p)]
-	return b.state[a.Geo.PageIndexOf(p)]
-}
+func (a *Array) State(p PPN) PageState { return a.state[p] }
 
 // TagOf returns the OOB tag of a page (NilTag if free).
-func (a *Array) TagOf(p PPN) Tag {
-	b := &a.blocks[a.Geo.BlockOf(p)]
-	return b.tags[a.Geo.PageIndexOf(p)]
-}
+func (a *Array) TagOf(p PPN) Tag { return a.tags[p] }
 
 // Program writes one page with the given OOB tag. NAND constraints are
 // enforced: the page must be free and must be the next page in its block's
@@ -125,19 +125,23 @@ func (a *Array) Program(p PPN, tag Tag) error {
 	if err := a.Geo.CheckPPN(p); err != nil {
 		return err
 	}
-	b := &a.blocks[a.Geo.BlockOf(p)]
+	if a.state[p] != PageFree {
+		return fmt.Errorf("%w: ppn %d is %v", ErrProgramNotFree, p, a.state[p])
+	}
+	bid := a.Geo.BlockOf(p)
 	idx := a.Geo.PageIndexOf(p)
-	if b.state[idx] != PageFree {
-		return fmt.Errorf("%w: ppn %d is %v", ErrProgramNotFree, p, b.state[idx])
-	}
-	if idx != b.writePtr {
+	if idx != int(a.writePtr[bid]) {
 		return fmt.Errorf("%w: ppn %d index %d, block cursor %d",
-			ErrProgramOutOfOrder, p, idx, b.writePtr)
+			ErrProgramOutOfOrder, p, idx, a.writePtr[bid])
 	}
-	b.state[idx] = PageValid
-	b.tags[idx] = tag
-	b.writePtr++
-	b.validCount++
+	a.state[p] = PageValid
+	a.tags[p] = tag
+	a.writePtr[bid]++
+	a.validCount[bid]++
+	if int(a.writePtr[bid]) == a.Geo.PagesPerBlock {
+		// The block just became full: it is now a GC victim candidate.
+		a.vidx.blockFilled(a.Geo.PlaneOfBlock(bid), bid, int(a.validCount[bid]))
+	}
 	return nil
 }
 
@@ -148,7 +152,7 @@ func (a *Array) Read(p PPN) error {
 	if err := a.Geo.CheckPPN(p); err != nil {
 		return err
 	}
-	if a.State(p) == PageFree {
+	if a.state[p] == PageFree {
 		return fmt.Errorf("%w: ppn %d", ErrReadUnwritten, p)
 	}
 	return nil
@@ -159,14 +163,16 @@ func (a *Array) Invalidate(p PPN) error {
 	if err := a.Geo.CheckPPN(p); err != nil {
 		return err
 	}
-	b := &a.blocks[a.Geo.BlockOf(p)]
-	idx := a.Geo.PageIndexOf(p)
-	if b.state[idx] != PageValid {
-		return fmt.Errorf("%w: ppn %d is %v", ErrInvalidateNotValid, p, b.state[idx])
+	if a.state[p] != PageValid {
+		return fmt.Errorf("%w: ppn %d is %v", ErrInvalidateNotValid, p, a.state[p])
 	}
-	b.state[idx] = PageInvalid
-	b.tags[idx] = NilTag
-	b.validCount--
+	bid := a.Geo.BlockOf(p)
+	a.state[p] = PageInvalid
+	a.tags[p] = NilTag
+	a.validCount[bid]--
+	if int(a.writePtr[bid]) == a.Geo.PagesPerBlock {
+		a.vidx.blockValidDec(a.Geo.PlaneOfBlock(bid), bid, int(a.validCount[bid]))
+	}
 	return nil
 }
 
@@ -176,45 +182,52 @@ func (a *Array) Erase(bid BlockID) error {
 	if err := a.Geo.CheckBlock(bid); err != nil {
 		return err
 	}
-	b := &a.blocks[bid]
-	if b.validCount != 0 {
-		return fmt.Errorf("%w: block %d has %d valid pages", ErrEraseWithValid, bid, b.validCount)
+	if a.validCount[bid] != 0 {
+		return fmt.Errorf("%w: block %d has %d valid pages", ErrEraseWithValid, bid, a.validCount[bid])
 	}
-	for i := range b.state {
-		b.state[i] = PageFree
-		b.tags[i] = NilTag
+	first := a.Geo.FirstPage(bid)
+	end := first + PPN(a.Geo.PagesPerBlock)
+	for p := first; p < end; p++ {
+		a.state[p] = PageFree
+		a.tags[p] = NilTag
 	}
-	b.writePtr = 0
-	b.eraseCount++
+	if int(a.writePtr[bid]) == a.Geo.PagesPerBlock {
+		a.vidx.blockErased(a.Geo.PlaneOfBlock(bid), bid)
+	}
+	a.writePtr[bid] = 0
+	a.eraseCount[bid]++
 	a.erases++
 	return nil
 }
 
 // ValidCount returns the number of valid pages in a block (the GC victim
 // metric).
-func (a *Array) ValidCount(bid BlockID) int { return a.blocks[bid].validCount }
+func (a *Array) ValidCount(bid BlockID) int { return int(a.validCount[bid]) }
 
 // WritePtr returns the block's program cursor; PagesPerBlock means full.
-func (a *Array) WritePtr(bid BlockID) int { return a.blocks[bid].writePtr }
+func (a *Array) WritePtr(bid BlockID) int { return int(a.writePtr[bid]) }
 
 // FreeInBlock returns the number of still-programmable pages in a block.
-func (a *Array) FreeInBlock(bid BlockID) int { return a.Geo.PagesPerBlock - a.blocks[bid].writePtr }
+func (a *Array) FreeInBlock(bid BlockID) int { return a.Geo.PagesPerBlock - int(a.writePtr[bid]) }
 
 // EraseCount returns a block's erase counter.
-func (a *Array) EraseCount(bid BlockID) int64 { return a.blocks[bid].eraseCount }
+func (a *Array) EraseCount(bid BlockID) int64 { return a.eraseCount[bid] }
 
 // TotalErases returns the device-wide erase count — the endurance indicator
 // reported in Figs 11 and 14(b).
 func (a *Array) TotalErases() int64 { return a.erases }
 
 // CountStates tallies page states over the whole device; used by aging and
-// by tests.
+// by tests. With the flattened layout this is a scan of the two per-block
+// metadata arrays, not of every page.
 func (a *Array) CountStates() (free, valid, invalid int64) {
-	for i := range a.blocks {
-		b := &a.blocks[i]
-		free += int64(len(b.state) - b.writePtr)
-		valid += int64(b.validCount)
-		invalid += int64(b.writePtr - b.validCount)
+	ppb := int64(a.Geo.PagesPerBlock)
+	for bid := range a.writePtr {
+		wp := int64(a.writePtr[bid])
+		v := int64(a.validCount[bid])
+		free += ppb - wp
+		valid += v
+		invalid += wp - v
 	}
 	return
 }
@@ -222,14 +235,13 @@ func (a *Array) CountStates() (free, valid, invalid int64) {
 // WearStats summarises per-block erase counters: the wear-levelling view
 // of the endurance metric (mean, spread, extremes over all blocks).
 func (a *Array) WearStats() (mean, stddev float64, min, max int64) {
-	if len(a.blocks) == 0 {
+	if len(a.eraseCount) == 0 {
 		return 0, 0, 0, 0
 	}
-	min = a.blocks[0].eraseCount
+	min = a.eraseCount[0]
 	max = min
 	var sum float64
-	for i := range a.blocks {
-		e := a.blocks[i].eraseCount
+	for _, e := range a.eraseCount {
 		sum += float64(e)
 		if e < min {
 			min = e
@@ -238,26 +250,50 @@ func (a *Array) WearStats() (mean, stddev float64, min, max int64) {
 			max = e
 		}
 	}
-	mean = sum / float64(len(a.blocks))
+	mean = sum / float64(len(a.eraseCount))
 	var ss float64
-	for i := range a.blocks {
-		d := float64(a.blocks[i].eraseCount) - mean
+	for _, e := range a.eraseCount {
+		d := float64(e) - mean
 		ss += d * d
 	}
-	stddev = math.Sqrt(ss / float64(len(a.blocks)))
+	stddev = math.Sqrt(ss / float64(len(a.eraseCount)))
 	return mean, stddev, min, max
 }
 
 // ValidPages lists the PPNs of valid pages in a block in program order,
-// with their tags. GC uses it to migrate live data.
+// with their tags. GC uses AppendValidPages with a reusable scratch buffer;
+// this convenience wrapper allocates and suits recovery scans and tests.
 func (a *Array) ValidPages(bid BlockID) []PPN {
-	b := &a.blocks[bid]
-	var out []PPN
+	return a.AppendValidPages(nil, bid)
+}
+
+// AppendValidPages appends the PPNs of valid pages in a block, in program
+// order, to dst and returns the extended slice. Passing dst[:0] makes the
+// per-victim GC scan allocation-free in steady state.
+func (a *Array) AppendValidPages(dst []PPN, bid BlockID) []PPN {
 	first := a.Geo.FirstPage(bid)
-	for i := 0; i < b.writePtr; i++ {
-		if b.state[i] == PageValid {
-			out = append(out, first+PPN(i))
+	end := first + PPN(a.writePtr[bid])
+	for p := first; p < end; p++ {
+		if a.state[p] == PageValid {
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
+}
+
+// GreedyVictim returns the full block in plane pl with the fewest valid
+// pages (strictly fewer than PagesPerBlock — erasing an all-valid block
+// gains nothing), breaking ties toward the lowest block id, and skipping
+// the two active blocks. It returns -1 when no candidate exists. The
+// lookup is O(1) amortised against the incrementally maintained index and
+// selects exactly the block the reference O(blocks-per-plane) scan would.
+func (a *Array) GreedyVictim(pl PlaneID, skip1, skip2 BlockID) BlockID {
+	return a.vidx.greedy(pl, skip1, skip2)
+}
+
+// FIFOVictim returns the lowest-numbered full block in plane pl holding at
+// least one reclaimable (non-valid) page, skipping the two active blocks;
+// -1 when none exists. It matches the reference scan's VictimFIFO choice.
+func (a *Array) FIFOVictim(pl PlaneID, skip1, skip2 BlockID) BlockID {
+	return a.vidx.fifo(pl, skip1, skip2)
 }

@@ -45,11 +45,13 @@ type Allocator struct {
 	pagesPlane   int64
 	threshold    int64 // GC trigger in pages
 	onMigrate    MigrateFunc
-	salvage      SalvageFunc               // optional scheme-driven reclamation
-	victimPolicy VictimPolicy              // GC victim selection
-	maxVictims   int                       // partial GC: victims per invocation (0 = unbounded)
-	wearLevel    bool                      // pick least-worn free blocks
-	gcVictims    func(plane flash.PlaneID) // test hook, may be nil
+	salvage      SalvageFunc  // optional scheme-driven reclamation
+	victimPolicy VictimPolicy // GC victim selection
+	maxVictims   int          // partial GC: victims per invocation (0 = unbounded)
+	wearLevel    bool         // pick least-worn free blocks
+	refScan      bool         // use the reference victim scan instead of the index
+	gcScratch    []flash.PPN  // reused per-victim valid-page list (no steady-state allocs)
+	gcVictims    func(plane flash.PlaneID, victim flash.BlockID) // test hook, may be nil
 }
 
 // NewAllocator prepares per-plane free lists over a fresh device.
@@ -97,6 +99,12 @@ func (a *Allocator) SetSalvage(f SalvageFunc) { a.salvage = f }
 // an O(free blocks) scan per block allocation and narrows the per-block
 // erase spread (see the ext-wear study and the wear-levelling bench).
 func (a *Allocator) SetWearLeveling(on bool) { a.wearLevel = on }
+
+// SetGCVictimHook registers an observer called with every GC victim as it is
+// chosen (differential tests record the selection sequence). Nil removes it.
+func (a *Allocator) SetGCVictimHook(f func(plane flash.PlaneID, victim flash.BlockID)) {
+	a.gcVictims = f
+}
 
 // SetMaxVictimsPerGC bounds how many victim blocks one garbage-collection
 // invocation may process (0 = until the plane is above its threshold).

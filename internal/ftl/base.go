@@ -15,6 +15,8 @@ type Base struct {
 	Al   *Allocator
 	PMT  *mapping.PMT
 	SPP  int // sectors per page
+
+	splitBuf []PageSlice // reused by Split; valid until the next Split call
 }
 
 // NewBase wires a fresh device, allocator and PMT for a configuration.
@@ -36,6 +38,10 @@ func NewBase(conf *ssdconf.Config) (Base, error) {
 // Device implements part of the Scheme interface.
 func (b *Base) Device() *Device { return b.Dev }
 
+// Allocator exposes the page allocator (ablation and differential-test
+// hooks reach victim-policy switches through it).
+func (b *Base) Allocator() *Allocator { return b.Al }
+
 // CheckRequest validates a request against the device's logical size.
 func (b *Base) CheckRequest(r trace.Request) error {
 	return r.Validate(b.Conf.LogicalSectors())
@@ -53,10 +59,12 @@ type PageSlice struct {
 func (ps PageSlice) Full(spp int) bool { return ps.Start == 0 && ps.End == spp }
 
 // Split cuts a request into per-page slices, the "sub-requests" of §2.1.
+// The returned slice aliases a per-scheme scratch buffer: it is valid until
+// the next Split call on the same scheme and must not be retained.
 func (b *Base) Split(r trace.Request) []PageSlice {
 	spp := int64(b.SPP)
 	first, last := r.FirstLPN(b.SPP), r.LastLPN(b.SPP)
-	out := make([]PageSlice, 0, last-first+1)
+	out := b.splitBuf[:0]
 	for lpn := first; lpn <= last; lpn++ {
 		ps := PageSlice{LPN: lpn, Start: 0, End: b.SPP}
 		if lpn == first {
@@ -67,6 +75,7 @@ func (b *Base) Split(r trace.Request) []PageSlice {
 		}
 		out = append(out, ps)
 	}
+	b.splitBuf = out
 	return out
 }
 

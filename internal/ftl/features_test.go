@@ -86,7 +86,7 @@ func TestPartialGCBoundsVictimsPerInvocation(t *testing.T) {
 			t.Fatal(err)
 		}
 		burst := 0
-		s.Al.gcVictims = func(flash.PlaneID) { burst++ }
+		s.Al.gcVictims = func(flash.PlaneID, flash.BlockID) { burst++ }
 		s.Al.SetMaxVictimsPerGC(maxVictims)
 		// Count victims per AllocPage call via the test hook: reset burst
 		// around each write by sampling the max delta.

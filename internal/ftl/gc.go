@@ -22,10 +22,35 @@ const (
 // SetVictimPolicy switches the GC victim selection (ablation hook).
 func (a *Allocator) SetVictimPolicy(p VictimPolicy) { a.victimPolicy = p }
 
+// SetReferenceVictimScan switches victim selection to the retained
+// O(blocks-per-plane) reference scan instead of the flash array's
+// incrementally maintained victim index. Both must pick identical victim
+// sequences — the differential tests replay workloads under both and
+// assert bit-identical results; the reference scan exists only for that
+// cross-check.
+func (a *Allocator) SetReferenceVictimScan(on bool) { a.refScan = on }
+
 // pickVictim selects the collection victim among the plane's full,
 // non-active blocks under the configured policy. It returns -1 when no
-// block would yield net free space.
+// block would yield net free space. The victim comes from the array's
+// per-plane valid-count index in O(1) amortised; pickVictimScan is the
+// behaviourally identical reference.
 func (a *Allocator) pickVictim(pl flash.PlaneID) flash.BlockID {
+	st := &a.planes[pl]
+	if a.refScan {
+		return a.pickVictimScan(pl)
+	}
+	if a.victimPolicy == VictimFIFO {
+		return a.dev.Array.FIFOVictim(pl, st.active, st.gcActive)
+	}
+	return a.dev.Array.GreedyVictim(pl, st.active, st.gcActive)
+}
+
+// pickVictimScan is the reference victim selection: a linear scan over the
+// plane's blocks. It defines the semantics the indexed path must preserve
+// (greedy: fewest valid pages, lowest block id on ties; FIFO: lowest
+// block id among reclaimable full blocks).
+func (a *Allocator) pickVictimScan(pl flash.PlaneID) flash.BlockID {
 	geo := a.dev.Array.Geo
 	st := &a.planes[pl]
 	lo, hi := geo.BlocksOfPlane(pl)
@@ -81,9 +106,10 @@ func (a *Allocator) collect(pl flash.PlaneID, now float64) error {
 		a.dev.Count.GCInvocations++
 		victims++
 		if a.gcVictims != nil {
-			a.gcVictims(pl)
+			a.gcVictims(pl, victim)
 		}
-		for _, old := range a.dev.Array.ValidPages(victim) {
+		a.gcScratch = a.dev.Array.AppendValidPages(a.gcScratch[:0], victim)
+		for _, old := range a.gcScratch {
 			tag := a.dev.Array.TagOf(old)
 			if a.salvage != nil {
 				handled, err := a.salvage(tag, old, pl, now)

@@ -16,7 +16,6 @@ package mrsm
 
 import (
 	"math"
-	"sort"
 
 	"across/internal/cache"
 	"across/internal/clock"
@@ -73,6 +72,20 @@ type Scheme struct {
 	// physical page can be programmed.
 	bufMap  map[int64]int // logical sub-page -> buffer slot
 	bufList []int64       // buffer slot -> logical sub-page
+
+	// ppnScratch is the per-request list of distinct physical pages to
+	// read (RMW sources on writes, data sources on reads); reusing it
+	// keeps the steady-state request path allocation-free.
+	ppnScratch []flash.PPN
+
+	// Recycling pools for packed-page bookkeeping. Pack pages are created
+	// and destroyed constantly (every flush makes one, every full
+	// invalidation kills one), so pooling removes the dominant steady-state
+	// allocation of the scheme. subsPool entries may be in flight across a
+	// nested GC flush, hence a pool rather than a single scratch slice.
+	psPool    []*pageSlots
+	subsPool  [][]int64
+	ownersBuf []int64 // salvage's snapshot of a victim's slot owners
 }
 
 // New builds MRSM on a fresh device. The DRAM budget (by default the size of
@@ -214,6 +227,7 @@ func (s *Scheme) invalidateSub(sub int64) error {
 	s.subLoc[sub] = unmapped
 	if ps.live == 0 {
 		delete(s.pages, ppn)
+		s.psPool = append(s.psPool, ps)
 		return s.Dev.Invalidate(ppn)
 	}
 	return nil
@@ -244,9 +258,14 @@ func (s *Scheme) flushPackGC(pl flash.PlaneID, issue float64) (float64, error) {
 	return s.installPack(ppn, subs, issue, ftl.OpGC)
 }
 
-// takeBuffer detaches the current pack-buffer contents.
+// takeBuffer detaches the current pack-buffer contents into a pooled slice;
+// installPack returns the slice to the pool once the mappings are installed.
 func (s *Scheme) takeBuffer() []int64 {
-	subs := append([]int64(nil), s.bufList...)
+	var subs []int64
+	if n := len(s.subsPool); n > 0 {
+		subs, s.subsPool = s.subsPool[n-1][:0], s.subsPool[:n-1]
+	}
+	subs = append(subs, s.bufList...)
 	for _, sub := range subs {
 		delete(s.bufMap, sub)
 	}
@@ -260,7 +279,13 @@ func (s *Scheme) installPack(ppn flash.PPN, subs []int64, issue float64, class f
 	if err != nil {
 		return issue, err
 	}
-	ps := &pageSlots{owner: make([]int64, s.subPerPg), live: len(subs)}
+	var ps *pageSlots
+	if n := len(s.psPool); n > 0 {
+		ps, s.psPool = s.psPool[n-1], s.psPool[:n-1]
+	} else {
+		ps = &pageSlots{owner: make([]int64, s.subPerPg)}
+	}
+	ps.live = len(subs)
 	for i := range ps.owner {
 		ps.owner[i] = unmapped
 	}
@@ -269,6 +294,7 @@ func (s *Scheme) installPack(ppn flash.PPN, subs []int64, issue float64, class f
 		s.subLoc[sub] = int64(ppn)*int64(s.subPerPg) + int64(slot)
 	}
 	s.pages[ppn] = ps
+	s.subsPool = append(s.subsPool, subs)
 	return done, nil
 }
 
@@ -288,7 +314,12 @@ func (s *Scheme) salvage(tag flash.Tag, old flash.PPN, pl flash.PlaneID, now flo
 	if _, err := s.Dev.Read(old, now, ftl.OpGC); err != nil {
 		return false, err
 	}
-	owners := append([]int64(nil), ps.owner...)
+	// Snapshot the slot owners before invalidating: invalidateSub mutates
+	// ps.owner, and once the page dies ps returns to the pool where a nested
+	// GC flush may reuse it. salvage never nests (the GC allocation path
+	// cannot trigger another collection), so one scratch buffer suffices.
+	owners := append(s.ownersBuf[:0], ps.owner...)
+	s.ownersBuf = owners
 	for _, sub := range owners {
 		if sub == unmapped {
 			continue
@@ -332,7 +363,7 @@ func (s *Scheme) Write(r trace.Request, now float64) (float64, error) {
 	join := clock.NewJoin(now)
 	var mapDelay float64
 	issue := now
-	readPages := map[flash.PPN]bool{}
+	readPages := s.ppnScratch[:0] // distinct RMW-source pages, read once each
 
 	first, last, firstPartial, lastPartial := s.subRange(r)
 	for sub := first; sub <= last; sub++ {
@@ -347,8 +378,16 @@ func (s *Scheme) Write(r trace.Request, now float64) (float64, error) {
 			// flash (buffered copies merge in RAM for free).
 			if loc := s.subLoc[sub]; loc != unmapped {
 				ppn := flash.PPN(loc / int64(s.subPerPg))
-				if !readPages[ppn] {
-					readPages[ppn] = true
+				seen := false
+				for _, p := range readPages {
+					if p == ppn {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					readPages = append(readPages, ppn)
+					s.ppnScratch = readPages
 					rdone, err := s.Dev.Read(ppn, now, ftl.OpData)
 					if err != nil {
 						return now, err
@@ -418,20 +457,28 @@ func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
 			ready = rdy
 		}
 	}
-	need := map[flash.PPN]bool{}
+	// Distinct physical pages, ascending: sorted insertion into the scratch
+	// slice reproduces the read order of the former map-and-sort without
+	// allocating. A request touches at most a handful of pages.
+	ppns := s.ppnScratch[:0]
 	for sub := first; sub <= last; sub++ {
 		if _, buffered := s.bufMap[sub]; buffered {
 			continue
 		}
 		if loc := s.subLoc[sub]; loc != unmapped {
-			need[flash.PPN(loc/int64(s.subPerPg))] = true
+			ppn := flash.PPN(loc / int64(s.subPerPg))
+			i := len(ppns)
+			for i > 0 && ppns[i-1] > ppn {
+				i--
+			}
+			if i == 0 || ppns[i-1] != ppn {
+				ppns = append(ppns, 0)
+				copy(ppns[i+1:], ppns[i:])
+				ppns[i] = ppn
+			}
 		}
 	}
-	ppns := make([]flash.PPN, 0, len(need))
-	for ppn := range need {
-		ppns = append(ppns, ppn)
-	}
-	sort.Slice(ppns, func(i, j int) bool { return ppns[i] < ppns[j] })
+	s.ppnScratch = ppns
 	for _, ppn := range ppns {
 		done, err := s.Dev.Read(ppn, ready, ftl.OpData)
 		if err != nil {

@@ -1,0 +1,69 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile flags
+// into the command-line tools, so hot-path investigations can use pprof on
+// exactly the workload a user ran rather than on a synthetic benchmark.
+package profiling
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by Register.
+type Flags struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on the default flag set.
+// Call it before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call after flag.Parse.
+func (f *Flags) Start() error {
+	if f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, as requested.
+// Safe to call when neither flag was given; call exactly once before exit.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return err
+		}
+		f.cpuFile = nil
+	}
+	if f.mem != "" {
+		file, err := os.Create(f.mem)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		runtime.GC() // materialise final heap statistics
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// TestSteadyStateReplayAllocations locks in the replay loop's allocation
+// behaviour: after one warm-up replay has grown every scratch buffer, a
+// further replay of the same trace must stay under a small per-request
+// allocation budget. The baseline and Across-FTL paths are allocation-free
+// per request (only the per-replay Result remains); MRSM still pays a little
+// for its cached-mapping-table map churn, so its budget is looser but two
+// orders of magnitude below the pre-optimisation level.
+func TestSteadyStateReplayAllocations(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	for _, tc := range []struct {
+		kind      SchemeKind
+		maxPerReq float64
+	}{
+		{KindFTL, 0.05},
+		{KindAcross, 0.05},
+		{KindMRSM, 0.5},
+	} {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			r, err := NewRunner(tc.kind, smallConf())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Age(DefaultAging()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Replay(reqs); err != nil { // warm scratch buffers
+				t.Fatal(err)
+			}
+			var replayErr error
+			allocs := testing.AllocsPerRun(3, func() {
+				if _, err := r.Replay(reqs); err != nil {
+					replayErr = err
+				}
+			})
+			if replayErr != nil {
+				t.Fatal(replayErr)
+			}
+			perReq := allocs / float64(len(reqs))
+			t.Logf("%s: %.0f allocs per replay of %d requests (%.4f/request)",
+				tc.kind, allocs, len(reqs), perReq)
+			if perReq > tc.maxPerReq {
+				t.Errorf("steady-state replay allocates %.4f/request, budget %.4f — hot path regressed",
+					perReq, tc.maxPerReq)
+			}
+		})
+	}
+}

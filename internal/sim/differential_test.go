@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"across/internal/flash"
+	"across/internal/ftl"
+	"across/internal/trace"
+)
+
+// victimRec is one GC victim selection, in order of occurrence.
+type victimRec struct {
+	pl  flash.PlaneID
+	bid flash.BlockID
+}
+
+// replayRecorded runs one full aged replay with the given victim-selection
+// implementation (indexed or the retained reference scan), recording every
+// GC victim chosen along the way.
+func replayRecorded(t *testing.T, kind SchemeKind, reference bool, reqs []trace.Request) (*Result, []victimRec) {
+	t.Helper()
+	conf := smallConf()
+	r, err := NewRunner(kind, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := r.Scheme.(interface{ Allocator() *ftl.Allocator }).Allocator()
+	al.SetReferenceVictimScan(reference)
+	var seq []victimRec
+	al.SetGCVictimHook(func(pl flash.PlaneID, bid flash.BlockID) {
+		seq = append(seq, victimRec{pl, bid})
+	})
+	if err := r.Age(DefaultAging()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Replay(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, seq
+}
+
+// TestIndexedVictimMatchesReferenceScan is the behaviour-preservation proof
+// for the indexed GC victim selection: for every scheme, an aged replay of a
+// seeded workload must choose the exact same victim sequence and produce a
+// bit-identical Result whether victims come from the valid-count index or
+// from the retained naive scan.
+func TestIndexedVictimMatchesReferenceScan(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			resIdx, seqIdx := replayRecorded(t, kind, false, reqs)
+			resRef, seqRef := replayRecorded(t, kind, true, reqs)
+
+			if len(seqIdx) == 0 {
+				t.Fatal("no GC victims selected: workload too small to exercise victim selection")
+			}
+			if len(seqIdx) != len(seqRef) {
+				t.Fatalf("victim count diverged: indexed %d, reference %d", len(seqIdx), len(seqRef))
+			}
+			for i := range seqIdx {
+				if seqIdx[i] != seqRef[i] {
+					t.Fatalf("victim %d diverged: indexed chose plane %d block %d, reference plane %d block %d",
+						i, seqIdx[i].pl, seqIdx[i].bid, seqRef[i].pl, seqRef[i].bid)
+				}
+			}
+			if !reflect.DeepEqual(resIdx, resRef) {
+				t.Errorf("results diverged between indexed and reference victim selection:\nindexed:   %+v\nreference: %+v",
+					resIdx, resRef)
+			}
+		})
+	}
+}
+
+// TestVictimPoliciesDifferUnderIndex guards against the index degenerating
+// into one policy: greedy and FIFO selection over the same workload should
+// not produce identical victim sequences on a fragmented device.
+func TestVictimPoliciesDifferUnderIndex(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	seqFor := func(policy ftl.VictimPolicy) []victimRec {
+		r, err := NewRunner(KindFTL, smallConf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		al := r.Scheme.(interface{ Allocator() *ftl.Allocator }).Allocator()
+		al.SetVictimPolicy(policy)
+		var seq []victimRec
+		al.SetGCVictimHook(func(pl flash.PlaneID, bid flash.BlockID) {
+			seq = append(seq, victimRec{pl, bid})
+		})
+		if err := r.Age(DefaultAging()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Replay(reqs); err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+	greedy := seqFor(ftl.VictimGreedy)
+	fifo := seqFor(ftl.VictimFIFO)
+	if reflect.DeepEqual(greedy, fifo) {
+		t.Error("greedy and FIFO victim sequences are identical; index may be ignoring the policy")
+	}
+}

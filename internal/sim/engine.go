@@ -56,11 +56,22 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 
 	res := &Result{
 		Scheme:       r.Scheme.Name(),
-		ByBucket:     make(map[BucketKey]*OpClassMetrics),
+		ByBucket:     make(map[BucketKey]*OpClassMetrics, 6),
 		WarmupWrites: r.warmupWrites,
+	}
+	// Preallocate every (direction, class) bucket and cache the pointers so
+	// the replay loop never hashes a map key or allocates a metrics struct.
+	var buckets [2][3]*OpClassMetrics
+	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+		for _, class := range []trace.Class{trace.ClassAligned, trace.ClassAcross, trace.ClassUnaligned} {
+			buckets[op][class] = res.Bucket(op, class)
+		}
 	}
 	spp := r.Conf.SectorsPerPage()
 	var inflight []float64 // completion times of outstanding requests (QD mode)
+	if qd > 0 {
+		inflight = make([]float64, 0, qd)
+	}
 	for i, req := range reqs {
 		issue := req.Time
 		if qd > 0 {
@@ -117,7 +128,7 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 			res.ReadLatencySum += lat
 			res.ReadLat.Add(lat)
 		}
-		b := res.Bucket(req.Op, req.Classify(spp))
+		b := buckets[req.Op][req.Classify(spp)]
 		b.Requests++
 		b.Sectors += int64(req.Count)
 		b.LatencySum += lat
