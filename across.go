@@ -27,6 +27,7 @@ import (
 	"across/internal/experiments"
 	"across/internal/ftl"
 	"across/internal/hostcache"
+	"across/internal/obs"
 	"across/internal/sim"
 	"across/internal/ssdconf"
 	"across/internal/trace"
@@ -233,6 +234,57 @@ type Runner = sim.Runner
 
 // NewRunner builds a scheme of the given kind on a fresh device.
 func NewRunner(s Scheme, cfg Config) (*Runner, error) { return sim.NewRunner(s, cfg) }
+
+// NewRunnerWithHostCache builds a runner whose scheme is wrapped in a DRAM
+// data buffer of cachePages logical pages — the step-by-step sibling of
+// RunWithHostCache, for callers that also need to age the device, attach
+// observability, or replay several traces.
+func NewRunnerWithHostCache(s Scheme, cfg Config, cachePages int) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := sim.NewScheme(s, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Runner{Conf: &cfg, Kind: s, Scheme: hostcache.Wrap(inner, cachePages)}, nil
+}
+
+// Tracer receives span-style observability events from a replay: request
+// arrivals and completions, flash command service spans, GC victim and
+// collection spans, Across-FTL plan decisions, and cache accesses. Install
+// one with Runner.SetTracer. The zero-cost default is no tracer at all;
+// NopTracer exists to measure the instrumentation overhead itself.
+type Tracer = obs.Tracer
+
+// Sampler snapshots time-series metrics (queue depth, per-chip busy
+// fraction, WAF, GC debt, mapping-cache hit rate) on a simulated-clock
+// interval; install one with Runner.SetSampler.
+type Sampler = obs.Sampler
+
+// MetricSample is one periodic snapshot taken by a Sampler.
+type MetricSample = obs.Sample
+
+// NewSampler builds a metrics sampler with the given simulated-ms interval.
+func NewSampler(intervalMs float64) (*Sampler, error) { return obs.NewSampler(intervalMs) }
+
+// NopTracer returns the no-op tracer (overhead measurement only).
+func NopTracer() Tracer { return obs.NopTracer() }
+
+// OpenTraceFile creates an event-trace file for a device with the given
+// chip count: a path ending in .jsonl gets the line-oriented event stream;
+// anything else gets Chrome trace_event JSON, which Perfetto and
+// chrome://tracing open directly. Close the returned closer after the
+// replay to finalise the file.
+func OpenTraceFile(path string, chips int) (Tracer, io.Closer, error) {
+	return obs.OpenTrace(path, chips)
+}
+
+// OpenMetricsFile creates a metrics JSONL sink at path and returns it
+// attached-ready for Sampler.SetSink; the closer flushes and closes.
+func OpenMetricsFile(path string) (*obs.JSONLMetrics, io.Closer, error) {
+	return obs.OpenMetrics(path)
+}
 
 // ExperimentConfigDefaults returns the default harness configuration:
 // scaled Table 1 geometry, 5% trace lengths, aged device, 61-trace Fig 2

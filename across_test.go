@@ -96,7 +96,9 @@ func TestConfigConstructors(t *testing.T) {
 }
 
 // extensionIDs mirrors the extension registry for the count check.
-func extensionIDs() []string { return []string{"ext-tail", "ext-wear", "ext-dftl", "ext-util"} }
+func extensionIDs() []string {
+	return []string{"ext-tail", "ext-wear", "ext-dftl", "ext-util", "ext-timeline"}
+}
 
 func TestExperimentIDsAndRunner(t *testing.T) {
 	ids := ExperimentIDs()

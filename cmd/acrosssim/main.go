@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"across"
 	"across/internal/profiling"
+	"across/internal/report"
 )
 
 func main() {
@@ -28,6 +30,11 @@ func main() {
 		noAge      = flag.Bool("no-age", false, "skip device aging")
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
+
+		traceOut   = flag.String("trace-out", "", "write an execution trace (.jsonl = event lines; anything else = Chrome trace_event JSON for Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write sampled time-series metrics as JSONL")
+		metricsInt = flag.Float64("metrics-interval-ms", 50, "sampling interval in simulated ms (with -metrics-out or -timeline)")
+		timeline   = flag.String("timeline", "", "print sampled timeline tables after the run (text | markdown | csv)")
 	)
 	prof := profiling.Register()
 	flag.Parse()
@@ -89,25 +96,59 @@ func main() {
 	fmt.Printf("trace  : %d requests, write ratio %.1f%%, avg write %.1f KB, across-page %.1f%%\n",
 		st.Requests, 100*st.WriteRatio(), st.AvgWriteKB(), 100*st.AcrossRatio())
 
-	var res *across.Result
+	var r *across.Runner
 	var err error
-	switch {
-	case *cachePages > 0:
-		res, err = across.RunWithHostCache(scheme, cfg, *cachePages, reqs, !*noAge)
-	case *qd > 0:
-		var r *across.Runner
+	if *cachePages > 0 {
+		r, err = across.NewRunnerWithHostCache(scheme, cfg, *cachePages)
+	} else {
 		r, err = across.NewRunner(scheme, cfg)
-		if err == nil && !*noAge {
-			err = r.Age(across.DefaultAging())
-		}
-		if err == nil {
-			res, err = r.ReplayQD(reqs, *qd)
-		}
-	default:
-		res, err = across.Run(scheme, cfg, reqs, !*noAge)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if !*noAge {
+		if err := r.Age(across.DefaultAging()); err != nil {
+			fatal(err)
+		}
+	}
+
+	var closers []io.Closer
+	if *traceOut != "" {
+		trc, c, err := across.OpenTraceFile(*traceOut, cfg.Chips())
+		if err != nil {
+			fatal(err)
+		}
+		r.SetTracer(trc)
+		closers = append(closers, c)
+	}
+	var smp *across.Sampler
+	if *metricsOut != "" || *timeline != "" {
+		smp, err = across.NewSampler(*metricsInt)
+		if err != nil {
+			fatal(err)
+		}
+		if *metricsOut != "" {
+			sink, c, err := across.OpenMetricsFile(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			smp.SetSink(sink)
+			closers = append(closers, c)
+		}
+		r.SetSampler(smp)
+	}
+
+	res, err := r.ReplayQD(reqs, *qd)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range closers {
+		if err := c.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if smp != nil && smp.Err() != nil {
+		fatal(smp.Err())
 	}
 
 	c := res.Counters
@@ -130,6 +171,11 @@ func main() {
 		fmt.Printf("across : %d areas written (direct %.1f%%, profitable-merge %.1f%%, unprofitable %.1f%%), rollback ratio %.1f%%\n",
 			a.AreasTouched(), 100*d, 100*p, 100*u, 100*a.RollbackRatio())
 		fmt.Printf("         %d direct reads, %d merged reads\n", a.DirectReads, a.MergedReads)
+	}
+	if smp != nil && *timeline != "" {
+		fmt.Println()
+		report.TimelineLatency(smp.Samples()).RenderTo(os.Stdout, *timeline)
+		report.TimelineUtilisation(smp.Samples()).RenderTo(os.Stdout, *timeline)
 	}
 }
 

@@ -17,9 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"testing"
 
+	"across/internal/obs"
 	"across/internal/sim"
 	"across/internal/ssdconf"
 	"across/internal/trace"
@@ -30,13 +34,17 @@ import (
 type Report struct {
 	Benchmark     string         `json:"benchmark"`
 	GoVersion     string         `json:"go_version"`
+	GitRevision   string         `json:"git_revision,omitempty"`
 	GOMAXPROCS    int            `json:"gomaxprocs"`
 	Device        string         `json:"device"`
 	TraceRequests int            `json:"trace_requests"`
 	Schemes       []SchemeReport `json:"schemes"`
 }
 
-// SchemeReport is one scheme's measured replay performance.
+// SchemeReport is one scheme's measured replay performance, plus the
+// replay's simulation-side outcome (wear distribution and chip-load
+// balance) so a perf regression that trades speed for simulation behaviour
+// is visible in the same artifact.
 type SchemeReport struct {
 	Scheme         string  `json:"scheme"`
 	Iterations     int     `json:"iterations"`
@@ -44,6 +52,37 @@ type SchemeReport struct {
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
+
+	Wear    sim.WearSummary `json:"wear"`
+	UtilMin float64         `json:"utilisation_min"`
+	UtilMax float64         `json:"utilisation_max"`
+}
+
+// gitRevision identifies the benched commit: the build info's vcs.revision
+// when the binary was built from a checkout, falling back to git itself
+// (go run strips VCS stamping).
+func gitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func benchSSD() ssdconf.Config {
@@ -66,9 +105,11 @@ func benchTrace(conf ssdconf.Config) ([]trace.Request, error) {
 }
 
 // replayResult benchmarks one scheme: per iteration, replay the whole trace
-// on a pre-aged runner (aging and construction are outside the timed region).
-func replayResult(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request) (testing.BenchmarkResult, error) {
+// on a pre-aged runner (aging and construction are outside the timed
+// region). It also returns the last iteration's simulation Result.
+func replayResult(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request) (testing.BenchmarkResult, *sim.Result, error) {
 	var runErr error
+	var last *sim.Result
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		r, err := sim.NewRunner(kind, conf)
@@ -82,17 +123,67 @@ func replayResult(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := r.Replay(reqs); err != nil {
+			sr, err := r.Replay(reqs)
+			if err != nil {
 				runErr = err
 				return
 			}
+			last = sr
 		}
 	})
-	return res, runErr
+	return res, last, runErr
+}
+
+// instrumentedReplay runs one untimed, fully observed replay of a scheme —
+// the benchmark artifact then ships with an inspectable execution trace and
+// metrics series from the same workload.
+func instrumentedReplay(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request, traceOut, metricsOut string, intervalMs float64) error {
+	r, err := sim.NewRunner(kind, conf)
+	if err != nil {
+		return err
+	}
+	if err := r.Age(sim.DefaultAging()); err != nil {
+		return err
+	}
+	var closers []interface{ Close() error }
+	if traceOut != "" {
+		trc, c, err := obs.OpenTrace(traceOut, conf.Chips())
+		if err != nil {
+			return err
+		}
+		r.SetTracer(trc)
+		closers = append(closers, c)
+	}
+	if metricsOut != "" {
+		smp, err := obs.NewSampler(intervalMs)
+		if err != nil {
+			return err
+		}
+		sink, c, err := obs.OpenMetrics(metricsOut)
+		if err != nil {
+			return err
+		}
+		smp.SetSink(sink)
+		r.SetSampler(smp)
+		closers = append(closers, c)
+	}
+	if _, err := r.Replay(reqs); err != nil {
+		return err
+	}
+	for _, c := range closers {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func main() {
 	out := flag.String("o", "", "also write the JSON report to this file")
+	traceOut := flag.String("trace-out", "", "also run one instrumented replay writing an execution trace here (.jsonl = event lines, else Chrome trace_event)")
+	metricsOut := flag.String("metrics-out", "", "also run one instrumented replay writing metrics JSONL here")
+	metricsInt := flag.Float64("metrics-interval-ms", 50, "sampling interval for -metrics-out in simulated ms")
+	obsScheme := flag.String("obs-scheme", "Across-FTL", "scheme for the instrumented replay (with -trace-out / -metrics-out)")
 	flag.Parse()
 
 	conf := benchSSD()
@@ -104,24 +195,37 @@ func main() {
 	rep := Report{
 		Benchmark:     "ReplayThroughput",
 		GoVersion:     runtime.Version(),
+		GitRevision:   gitRevision(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Device:        conf.String(),
 		TraceRequests: len(reqs),
 	}
 	for _, kind := range sim.Kinds() {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", kind)
-		r, err := replayResult(kind, conf, reqs)
+		r, last, err := replayResult(kind, conf, reqs)
 		if err != nil {
 			fatal(err)
 		}
-		rep.Schemes = append(rep.Schemes, SchemeReport{
+		sr := SchemeReport{
 			Scheme:         string(kind),
 			Iterations:     r.N,
 			NsPerOp:        r.NsPerOp(),
 			RequestsPerSec: float64(len(reqs)) * float64(r.N) / r.T.Seconds(),
 			AllocsPerOp:    r.AllocsPerOp(),
 			BytesPerOp:     r.AllocedBytesPerOp(),
-		})
+		}
+		if last != nil {
+			sr.Wear = last.Wear
+			sr.UtilMin, sr.UtilMax = last.UtilisationSpread()
+		}
+		rep.Schemes = append(rep.Schemes, sr)
+	}
+
+	if *traceOut != "" || *metricsOut != "" {
+		fmt.Fprintf(os.Stderr, "bench: instrumented replay (%s)...\n", *obsScheme)
+		if err := instrumentedReplay(sim.SchemeKind(*obsScheme), conf, reqs, *traceOut, *metricsOut, *metricsInt); err != nil {
+			fatal(err)
+		}
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

@@ -32,10 +32,14 @@ func main() {
 		noAge   = flag.Bool("no-age", false, "skip the 90%-used device warm-up (faster, less faithful)")
 		workers = flag.Int("workers", 0, "parallel replays (default GOMAXPROCS)")
 		out     = flag.String("out", "", "also write the report to this file")
-		ext     = flag.Bool("ext", false, "also run the extension studies (ext-tail, ext-wear, ext-dftl, ext-util)")
+		ext     = flag.Bool("ext", false, "also run the extension studies (ext-tail, ext-wear, ext-dftl, ext-util, ext-timeline)")
 		seed    = flag.Int64("seed", 0, "workload seed offset (stability checks)")
 		format  = flag.String("format", "text", "table format: text, markdown, csv")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+
+		traceOut   = flag.String("trace-out", "", "write the ext-timeline Across-FTL replay's execution trace here (.jsonl = event lines, else Chrome trace_event)")
+		metricsOut = flag.String("metrics-out", "", "write the ext-timeline sampled metrics as JSONL here")
+		metricsInt = flag.Float64("metrics-interval-ms", 0, "ext-timeline sampling interval in simulated ms (0 = auto)")
 	)
 	prof := profiling.Register()
 	flag.Parse()
@@ -67,6 +71,9 @@ func main() {
 	cfg.Workers = *workers
 	cfg.SeedOffset = *seed
 	cfg.Format = *format
+	cfg.TraceOut = *traceOut
+	cfg.MetricsOut = *metricsOut
+	cfg.MetricsIntervalMs = *metricsInt
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -86,7 +93,7 @@ func main() {
 	if *runList == "" {
 		err = across.RunAllExperiments(cfg, w)
 		if err == nil && *ext {
-			for _, id := range []string{"ext-tail", "ext-wear", "ext-dftl", "ext-util"} {
+			for _, id := range []string{"ext-tail", "ext-wear", "ext-dftl", "ext-util", "ext-timeline"} {
 				if err = across.RunExperiment(id, cfg, w); err != nil {
 					break
 				}

@@ -4,6 +4,7 @@ import (
 	"across/internal/clock"
 	"across/internal/flash"
 	"across/internal/ftl"
+	"across/internal/obs"
 	"across/internal/trace"
 )
 
@@ -135,9 +136,15 @@ func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
 	if areaSrcs > 0 {
 		if coveredByOneArea && len(srcs) == 1 {
 			s.stats.DirectReads++
+			if trc := s.Dev.Tracer(); trc != nil {
+				trc.AcrossEvent(obs.AcrossDirectRead, w.Start, w.len(), now)
+			}
 		} else {
 			s.stats.MergedReads++
 			s.stats.MergedReadFlashReads += int64(flashReads)
+			if trc := s.Dev.Tracer(); trc != nil {
+				trc.AcrossEvent(obs.AcrossMergedRead, w.Start, w.len(), now)
+			}
 		}
 	}
 	join.AddDelay(mapDelay)

@@ -16,6 +16,7 @@ import (
 	"across/internal/flash"
 	"across/internal/ftl"
 	"across/internal/mapping"
+	"across/internal/obs"
 	"across/internal/ssdconf"
 )
 
@@ -153,6 +154,9 @@ func (s *Scheme) migrate(tag flash.Tag, old, new flash.PPN) {
 func (s *Scheme) touchAMT(idx int32, dirty bool, now float64) (delay, ready float64, err error) {
 	delay = s.Dev.DRAMAccess(1)
 	eff := s.cmt.Touch(int64(idx), dirty)
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.CacheAccess(obs.CacheMapping, !eff.MissRead, now)
+	}
 	ready, err = s.ms.ApplyEffect(eff, s.cmt.PageOf(int64(idx)), now)
 	return delay, ready, err
 }

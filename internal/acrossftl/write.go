@@ -4,6 +4,7 @@ import (
 	"across/internal/clock"
 	"across/internal/flash"
 	"across/internal/ftl"
+	"across/internal/obs"
 	"across/internal/trace"
 )
 
@@ -85,6 +86,9 @@ func (s *Scheme) directWrite(w span, now float64, join *clock.Join) (float64, er
 	mapDelay += d
 	join.Add(done)
 	s.stats.DirectWrites++
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.AcrossEvent(obs.AcrossDirect, w.Start, w.len(), now)
+	}
 	return mapDelay, nil
 }
 
@@ -126,6 +130,9 @@ func (s *Scheme) supersedeAndWrite(r trace.Request, confl []area, now float64, j
 			return mapDelay, err
 		}
 		s.stats.Superseded++
+	}
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.AcrossEvent(obs.AcrossSupersede, r.Offset, int64(r.Count), now)
 	}
 	d, err := s.normalWrite(r, now, join)
 	return mapDelay + d, err
@@ -203,6 +210,13 @@ func (s *Scheme) aMerge(w, union span, confl []area, profitable bool, now float6
 		s.stats.ProfitableAMerge++
 	} else {
 		s.stats.UnprofitableAMerge++
+	}
+	if trc := s.Dev.Tracer(); trc != nil {
+		kind := obs.AcrossMergeUnprofitable
+		if profitable {
+			kind = obs.AcrossMergeProfitable
+		}
+		trc.AcrossEvent(kind, union.Start, union.len(), now)
 	}
 	return mapDelay, nil
 }
@@ -283,6 +297,9 @@ func (s *Scheme) rollback(r trace.Request, w span, confl []area, now float64, jo
 			return mapDelay, err
 		}
 		s.stats.Rollbacks++
+	}
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.AcrossEvent(obs.AcrossRollback, w.Start, w.len(), now)
 	}
 	return mapDelay, nil
 }

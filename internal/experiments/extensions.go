@@ -19,6 +19,7 @@ func Extensions() []Experiment {
 		extWearExperiment(),
 		extDFTLExperiment(),
 		extUtilExperiment(),
+		extTimelineExperiment(),
 	}
 }
 

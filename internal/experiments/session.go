@@ -43,6 +43,16 @@ type Config struct {
 	// Format selects the table rendering: "text" (default), "markdown"
 	// or "csv" (for plotting scripts).
 	Format string
+	// TraceOut, when set, makes the ext-timeline experiment write the
+	// Across-FTL replay's execution trace to this path (.jsonl = event
+	// lines, anything else = Chrome trace_event JSON for Perfetto).
+	TraceOut string
+	// MetricsOut, when set, makes ext-timeline also stream its sampled
+	// metrics as JSONL to this path.
+	MetricsOut string
+	// MetricsIntervalMs overrides the sampling interval in simulated ms
+	// (0 = divide the trace span into a fixed number of windows).
+	MetricsIntervalMs float64
 }
 
 // DefaultConfig returns the standard harness setting: Table 1 geometry

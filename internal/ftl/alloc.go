@@ -118,6 +118,19 @@ func (a *Allocator) SetMaxVictimsPerGC(n int) { a.maxVictims = n }
 // FreePages returns the programmable pages remaining in a plane.
 func (a *Allocator) FreePages(pl flash.PlaneID) int64 { return a.planes[pl].freePages }
 
+// GCDebtPages sums, over all planes, how far each plane's free-page count
+// sits below its GC trigger threshold — the reclamation backlog the metrics
+// sampler reports as a gauge. Zero means every plane is above threshold.
+func (a *Allocator) GCDebtPages() int64 {
+	var debt int64
+	for i := range a.planes {
+		if d := a.threshold - a.planes[i].freePages; d > 0 {
+			debt += d
+		}
+	}
+	return debt
+}
+
 // TotalFreePages sums free pages over the device.
 func (a *Allocator) TotalFreePages() int64 {
 	var n int64

@@ -10,6 +10,7 @@ import (
 
 	"across/internal/clock"
 	"across/internal/flash"
+	"across/internal/obs"
 	"across/internal/ssdconf"
 	"across/internal/trace"
 )
@@ -95,6 +96,31 @@ type Device struct {
 	// bus exactly as on real hardware.
 	Bus   *clock.Scheduler
 	Count Counters
+
+	// trc receives observability events when tracing is enabled; traceOn
+	// caches the nil check so the disabled hot path pays one branch.
+	trc     obs.Tracer
+	traceOn bool
+}
+
+// SetTracer installs (or, with nil, removes) the observability tracer. The
+// tracer observes flash command service spans and — through Tracer() — lets
+// the allocator and schemes emit GC, across-plan and cache events.
+func (d *Device) SetTracer(t obs.Tracer) {
+	if obs.IsNop(t) {
+		t = nil
+	}
+	d.trc = t
+	d.traceOn = t != nil
+}
+
+// Tracer returns the installed tracer, nil when tracing is off. Emission
+// sites guard with a nil check, keeping the disabled cost to one branch.
+func (d *Device) Tracer() obs.Tracer {
+	if d.traceOn {
+		return d.trc
+	}
+	return nil
 }
 
 // NewDevice builds an erased device for a validated configuration.
@@ -146,6 +172,10 @@ func (d *Device) Read(p flash.PPN, now float64, class OpClass) (float64, error) 
 	d.countRead(class)
 	chip := int(d.Array.Geo.ChipOf(p))
 	done := d.Sched.Schedule(chip, now, d.Conf.ReadTime)
+	if d.traceOn {
+		// The chip-occupancy span: the cell read, excluding bus transfer.
+		d.trc.FlashOp(obs.FlashRead, uint8(class), chip, int64(p), done-d.Conf.ReadTime, done)
+	}
 	if d.Conf.TransferTime > 0 {
 		done = d.Bus.Schedule(d.channelOf(chip), done, d.Conf.TransferTime)
 	}
@@ -181,7 +211,11 @@ func (d *Device) programScaled(p flash.PPN, tag flash.Tag, now float64, class Op
 	if d.Conf.TransferTime > 0 {
 		start = d.Bus.Schedule(d.channelOf(chip), now, d.Conf.TransferTime*frac)
 	}
-	return d.Sched.Schedule(chip, start, d.Conf.ProgramTime*frac), nil
+	done := d.Sched.Schedule(chip, start, d.Conf.ProgramTime*frac)
+	if d.traceOn {
+		d.trc.FlashOp(obs.FlashProgram, uint8(class), chip, int64(p), done-d.Conf.ProgramTime*frac, done)
+	}
+	return done, nil
 }
 
 // Erase erases a block at time now and returns the completion time.
@@ -191,7 +225,11 @@ func (d *Device) Erase(b flash.BlockID, now float64) (float64, error) {
 	}
 	d.Count.Erases++
 	chip := int(d.Array.Geo.ChipOfPlane(d.Array.Geo.PlaneOfBlock(b)))
-	return d.Sched.Schedule(chip, now, d.Conf.EraseTime), nil
+	done := d.Sched.Schedule(chip, now, d.Conf.EraseTime)
+	if d.traceOn {
+		d.trc.FlashOp(obs.FlashErase, uint8(OpGC), chip, int64(d.Array.Geo.FirstPage(b)), done-d.Conf.EraseTime, done)
+	}
+	return done, nil
 }
 
 // Invalidate marks a data page stale (no time cost; pure metadata).

@@ -4,6 +4,7 @@ import (
 	"across/internal/cache"
 	"across/internal/clock"
 	"across/internal/flash"
+	"across/internal/obs"
 	"across/internal/ssdconf"
 	"across/internal/trace"
 )
@@ -87,6 +88,9 @@ func (s *DFTL) migrate(tag flash.Tag, old, new flash.PPN) {
 func (s *DFTL) touch(lpn int64, dirty bool, now float64) (float64, float64, error) {
 	delay := s.Dev.DRAMAccess(1)
 	eff := s.cmt.Touch(lpn, dirty)
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.CacheAccess(obs.CacheMapping, !eff.MissRead, now)
+	}
 	ready, err := s.ms.ApplyEffect(eff, s.cmt.PageOf(lpn), now)
 	return delay, ready, err
 }

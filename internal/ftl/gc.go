@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"across/internal/flash"
+	"across/internal/obs"
 )
 
 // VictimPolicy selects how GC picks its victim block.
@@ -89,18 +90,21 @@ func (a *Allocator) pickVictimScan(pl flash.PlaneID) flash.BlockID {
 // foreground-GC latency effect the paper's erase/latency numbers rest on.
 func (a *Allocator) collect(pl flash.PlaneID, now float64) error {
 	st := &a.planes[pl]
-	victims := 0
+	trc := a.dev.Tracer()
+	victims, migrated := 0, 0
 	for st.freePages <= a.threshold || len(st.freeBlocks) <= 1 {
 		// Partial GC: stop after the configured number of victims as long
 		// as the plane retains its reserve block; the next allocation will
 		// resume collection.
 		if a.maxVictims > 0 && victims >= a.maxVictims && len(st.freeBlocks) > 1 {
+			a.emitGCSpan(trc, pl, victims, migrated, now)
 			return nil
 		}
 		victim := a.pickVictim(pl)
 		if victim < 0 {
 			// Nothing reclaimable; allocation may continue into the
 			// remaining free pages and fail later if truly exhausted.
+			a.emitGCSpan(trc, pl, victims, migrated, now)
 			return nil
 		}
 		a.dev.Count.GCInvocations++
@@ -108,7 +112,11 @@ func (a *Allocator) collect(pl flash.PlaneID, now float64) error {
 		if a.gcVictims != nil {
 			a.gcVictims(pl, victim)
 		}
+		if trc != nil {
+			trc.GCVictim(int(pl), int64(victim), a.dev.Array.ValidCount(victim), now)
+		}
 		a.gcScratch = a.dev.Array.AppendValidPages(a.gcScratch[:0], victim)
+		migrated += len(a.gcScratch)
 		for _, old := range a.gcScratch {
 			tag := a.dev.Array.TagOf(old)
 			if a.salvage != nil {
@@ -144,5 +152,20 @@ func (a *Allocator) collect(pl flash.PlaneID, now float64) error {
 		}
 		a.NoteErased(victim)
 	}
+	a.emitGCSpan(trc, pl, victims, migrated, now)
 	return nil
+}
+
+// emitGCSpan reports one completed collection burst to the tracer. The span
+// runs from the triggering allocation to the chip's busy horizon, which is
+// where the erase of the last victim lands — the window during which host
+// operations on that chip queue behind GC. A plain pre-return helper rather
+// than a defer: a deferred closure would capture locals and allocate, which
+// the no-op-tracer hot path must not.
+func (a *Allocator) emitGCSpan(trc obs.Tracer, pl flash.PlaneID, victims, migrated int, start float64) {
+	if trc == nil || victims == 0 {
+		return
+	}
+	chip := int(a.dev.Array.Geo.ChipOfPlane(pl))
+	trc.GCSpan(int(pl), victims, migrated, start, a.dev.Sched.BusyUntil(chip))
 }

@@ -15,6 +15,7 @@ package hostcache
 import (
 	"across/internal/cache"
 	"across/internal/ftl"
+	"across/internal/obs"
 	"across/internal/trace"
 )
 
@@ -54,6 +55,15 @@ func (s *Scheme) TableBytes() int64 { return s.inner.TableBytes() }
 
 // Stats returns the cache census.
 func (s *Scheme) Stats() Stats { return s.stats }
+
+// Allocator forwards to the inner scheme's page allocator when it exposes
+// one (metrics sampling reads GC debt through it).
+func (s *Scheme) Allocator() *ftl.Allocator {
+	if al, ok := s.inner.(interface{ Allocator() *ftl.Allocator }); ok {
+		return al.Allocator()
+	}
+	return nil
+}
 
 // ResetStats clears the census and forwards to the inner scheme.
 func (s *Scheme) ResetStats() {
@@ -109,6 +119,9 @@ func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
 	}
 	if allResident {
 		s.stats.ReadHits++
+		if trc := s.Device().Tracer(); trc != nil {
+			trc.CacheAccess(obs.CacheHostData, true, now)
+		}
 		delay := s.Device().DRAMAccess(int(last - first + 1))
 		// Refresh recency.
 		for lpn := first; lpn <= last; lpn++ {
@@ -117,6 +130,9 @@ func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
 		return now + delay, nil
 	}
 	s.stats.ReadMisses++
+	if trc := s.Device().Tracer(); trc != nil {
+		trc.CacheAccess(obs.CacheHostData, false, now)
+	}
 	done, err := s.inner.Read(r, now)
 	if err != nil {
 		return done, err

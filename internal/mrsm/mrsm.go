@@ -21,6 +21,7 @@ import (
 	"across/internal/clock"
 	"across/internal/flash"
 	"across/internal/ftl"
+	"across/internal/obs"
 	"across/internal/ssdconf"
 	"across/internal/trace"
 )
@@ -188,6 +189,9 @@ func (s *Scheme) touchEntry(sub int64, dirty bool, now float64) (delay, ready fl
 	}
 	delay = s.Dev.DRAMAccess(walk)
 	eff := s.cmt.Touch(sub, dirty)
+	if trc := s.Dev.Tracer(); trc != nil {
+		trc.CacheAccess(obs.CacheMapping, !eff.MissRead, now)
+	}
 	node := s.cmt.PageOf(sub)
 	if eff.FlushWrite {
 		delete(s.nodeDirty, eff.Victim)

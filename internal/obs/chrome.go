@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ChromeTracer exports events in the Chrome trace_event JSON format, which
+// Perfetto and chrome://tracing open directly. Layout:
+//
+//   - one track (tid) per flash chip carrying the NAND command service
+//     spans, named "chip N";
+//   - one GC track (tid = chips) carrying collection spans and instant
+//     victim markers;
+//   - host requests as async spans (ph "b"/"e", id = request sequence), so
+//     overlapping in-flight requests render in their own lanes;
+//   - Across-FTL plan decisions as instant events on an "across" track.
+//
+// Cache accesses are deliberately not exported here — at one event per
+// mapping touch they would dwarf the timeline; the JSONL tracer carries
+// them for offline analysis.
+//
+// Timestamps are microseconds (Chrome's unit); the simulator's milliseconds
+// are scaled by 1000 on the way out.
+type ChromeTracer struct {
+	w     *bufio.Writer
+	chips int
+	n     int // events written (comma placement)
+	err   error
+}
+
+// Track layout after the per-chip tracks.
+func (t *ChromeTracer) gcTID() int     { return t.chips }
+func (t *ChromeTracer) acrossTID() int { return t.chips + 1 }
+
+// NewChromeTracer starts a trace_event stream on w for a device with the
+// given chip count, emitting the process/thread naming metadata first.
+func NewChromeTracer(w io.Writer, chips int) *ChromeTracer {
+	t := &ChromeTracer{w: bufio.NewWriterSize(w, 1<<16), chips: chips}
+	t.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+	t.meta("process_name", 0, `"name":"ssd"`)
+	for c := 0; c < chips; c++ {
+		t.meta("thread_name", c, fmt.Sprintf(`"name":"chip %d"`, c))
+		t.meta("thread_sort_index", c, fmt.Sprintf(`"sort_index":%d`, c))
+	}
+	t.meta("thread_name", t.gcTID(), `"name":"GC"`)
+	t.meta("thread_sort_index", t.gcTID(), fmt.Sprintf(`"sort_index":%d`, t.gcTID()))
+	t.meta("thread_name", t.acrossTID(), `"name":"across"`)
+	t.meta("thread_sort_index", t.acrossTID(), fmt.Sprintf(`"sort_index":%d`, t.acrossTID()))
+	return t
+}
+
+func (t *ChromeTracer) raw(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.WriteString(s)
+}
+
+// event writes one record, handling the comma separation of the JSON array.
+func (t *ChromeTracer) event(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	if t.n > 0 {
+		t.raw(",\n")
+	} else {
+		t.raw("\n")
+	}
+	t.n++
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
+func (t *ChromeTracer) meta(name string, tid int, args string) {
+	t.event(`{"name":%q,"ph":"M","pid":0,"tid":%d,"args":{%s}}`, name, tid, args)
+}
+
+// us converts simulated milliseconds to trace microseconds.
+func us(ms float64) float64 { return ms * 1000 }
+
+// RequestStart implements Tracer: async span begin, one lane per in-flight
+// request.
+func (t *ChromeTracer) RequestStart(id int64, write bool, class uint8, offsetSectors, sectors int64, pages int, at float64) {
+	name := "R"
+	if write {
+		name = "W"
+	}
+	t.event(`{"name":%q,"cat":"req","ph":"b","id":%d,"pid":0,"ts":%.3f,"args":{"class":%d,"offset":%d,"sectors":%d,"pages":%d}}`,
+		name, id, us(at), class, offsetSectors, sectors, pages)
+}
+
+// RequestEnd implements Tracer: async span end.
+func (t *ChromeTracer) RequestEnd(id int64, write bool, done float64) {
+	name := "R"
+	if write {
+		name = "W"
+	}
+	t.event(`{"name":%q,"cat":"req","ph":"e","id":%d,"pid":0,"ts":%.3f}`, name, id, us(done))
+}
+
+// FlashOp implements Tracer: a complete event on the owning chip's track.
+func (t *ChromeTracer) FlashOp(op FlashOpKind, class uint8, chip int, ppn int64, start, done float64) {
+	t.event(`{"name":%q,"cat":%q,"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"ppn":%d}}`,
+		op.String(), ClassName(class), chip, us(start), us(done-start), ppn)
+}
+
+// GCVictim implements Tracer: an instant marker on the GC track.
+func (t *ChromeTracer) GCVictim(plane int, victim int64, validPages int, at float64) {
+	t.event(`{"name":"victim","cat":"gc","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"plane":%d,"block":%d,"valid":%d}}`,
+		t.gcTID(), us(at), plane, victim, validPages)
+}
+
+// GCSpan implements Tracer: a complete event on the GC track.
+func (t *ChromeTracer) GCSpan(plane int, victims, migrated int, start, end float64) {
+	t.event(`{"name":"gc plane %d","cat":"gc","ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"victims":%d,"migrated":%d}}`,
+		plane, t.gcTID(), us(start), us(end-start), victims, migrated)
+}
+
+// AcrossEvent implements Tracer: an instant marker on the across track.
+func (t *ChromeTracer) AcrossEvent(kind AcrossKind, startSector, sectors int64, at float64) {
+	t.event(`{"name":%q,"cat":"across","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"offset":%d,"sectors":%d}}`,
+		kind.String(), t.acrossTID(), us(at), startSector, sectors)
+}
+
+// CacheAccess implements Tracer: suppressed in the Chrome view (see the type
+// comment); the JSONL tracer records these.
+func (t *ChromeTracer) CacheAccess(kind CacheKind, hit bool, at float64) {}
+
+// Flush implements Tracer: closes the JSON document and flushes.
+func (t *ChromeTracer) Flush() error {
+	t.raw("\n]}\n")
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+var _ Tracer = (*ChromeTracer)(nil)

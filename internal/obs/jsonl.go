@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Event is the JSONL tracer's line schema: one object per event, with
+// unused fields omitted. The Ev field discriminates:
+// "req_start", "req_end", "flash", "gc_victim", "gc", "across", "cache".
+type Event struct {
+	Ev    string  `json:"ev"`
+	T     float64 `json:"t_ms"`
+	DurMs float64 `json:"dur_ms,omitempty"`
+
+	ID      int64  `json:"id,omitempty"`      // request sequence number
+	Write   bool   `json:"write,omitempty"`   // request direction
+	Class   string `json:"class,omitempty"`   // alignment or op class
+	Offset  int64  `json:"offset,omitempty"`  // sectors
+	Sectors int64  `json:"sectors,omitempty"` // request length
+	Pages   int    `json:"pages,omitempty"`   // split fan-out
+
+	Op   string `json:"op,omitempty"` // flash command
+	Chip int    `json:"chip,omitempty"`
+	PPN  int64  `json:"ppn,omitempty"`
+
+	Plane    int   `json:"plane,omitempty"`
+	Block    int64 `json:"block,omitempty"`
+	Valid    int   `json:"valid,omitempty"`
+	Victims  int   `json:"victims,omitempty"`
+	Migrated int   `json:"migrated,omitempty"`
+
+	Kind  string `json:"kind,omitempty"`  // across decision or cache kind
+	Hit   bool   `json:"hit,omitempty"`   // cache outcome
+	Cache string `json:"cache,omitempty"` // cache kind
+}
+
+// JSONLTracer writes every event as one JSON object per line — the
+// machine-readable sibling of the Chrome exporter, including the cache
+// accesses the Chrome view suppresses.
+type JSONLTracer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	ev  Event // reused per emission; Encode copies it out
+	err error
+}
+
+// NewJSONLTracer starts a JSONL event stream on w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLTracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+func (t *JSONLTracer) emit() {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(&t.ev)
+}
+
+// RequestStart implements Tracer.
+func (t *JSONLTracer) RequestStart(id int64, write bool, class uint8, offsetSectors, sectors int64, pages int, at float64) {
+	t.ev = Event{Ev: "req_start", T: at, ID: id, Write: write,
+		Class: reqClassName(class), Offset: offsetSectors, Sectors: sectors, Pages: pages}
+	t.emit()
+}
+
+// RequestEnd implements Tracer.
+func (t *JSONLTracer) RequestEnd(id int64, write bool, done float64) {
+	t.ev = Event{Ev: "req_end", T: done, ID: id, Write: write}
+	t.emit()
+}
+
+// FlashOp implements Tracer.
+func (t *JSONLTracer) FlashOp(op FlashOpKind, class uint8, chip int, ppn int64, start, done float64) {
+	t.ev = Event{Ev: "flash", T: start, DurMs: done - start,
+		Op: op.String(), Class: ClassName(class), Chip: chip, PPN: ppn}
+	t.emit()
+}
+
+// GCVictim implements Tracer.
+func (t *JSONLTracer) GCVictim(plane int, victim int64, validPages int, at float64) {
+	t.ev = Event{Ev: "gc_victim", T: at, Plane: plane, Block: victim, Valid: validPages}
+	t.emit()
+}
+
+// GCSpan implements Tracer.
+func (t *JSONLTracer) GCSpan(plane int, victims, migrated int, start, end float64) {
+	t.ev = Event{Ev: "gc", T: start, DurMs: end - start,
+		Plane: plane, Victims: victims, Migrated: migrated}
+	t.emit()
+}
+
+// AcrossEvent implements Tracer.
+func (t *JSONLTracer) AcrossEvent(kind AcrossKind, startSector, sectors int64, at float64) {
+	t.ev = Event{Ev: "across", T: at, Kind: kind.String(), Offset: startSector, Sectors: sectors}
+	t.emit()
+}
+
+// CacheAccess implements Tracer.
+func (t *JSONLTracer) CacheAccess(kind CacheKind, hit bool, at float64) {
+	t.ev = Event{Ev: "cache", T: at, Cache: kind.String(), Hit: hit}
+	t.emit()
+}
+
+// Flush implements Tracer.
+func (t *JSONLTracer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// reqClassName renders the trace.Class numbering (aligned / across /
+// unaligned) without importing the trace package.
+func reqClassName(c uint8) string {
+	switch c {
+	case 0:
+		return "aligned"
+	case 1:
+		return "across"
+	case 2:
+		return "unaligned"
+	}
+	return ClassName(c)
+}
+
+var _ Tracer = (*JSONLTracer)(nil)

@@ -1,0 +1,50 @@
+package obs
+
+// Nop is the no-op Tracer: every method is an empty body and every Tracer
+// method takes scalars only, so an installed Nop allocates nothing.
+// Emission hosts (the device and the replay engine) recognise it via IsNop
+// and normalise it to a nil tracer at installation, so "tracing off" costs
+// one predictable branch per event site rather than a dynamic interface
+// call — installing a Nop is exactly as cheap as installing nil.
+type Nop struct{}
+
+// NopTracer returns the shared no-op tracer.
+func NopTracer() Tracer { return nopShared }
+
+var nopShared Tracer = Nop{}
+
+// IsNop reports whether t is the no-op tracer (or nil). Callers that emit
+// on a hot path should normalise no-op tracers to nil when the tracer is
+// installed, keeping the per-event disabled cost to a nil check.
+func IsNop(t Tracer) bool {
+	if t == nil {
+		return true
+	}
+	_, ok := t.(Nop)
+	return ok
+}
+
+// RequestStart implements Tracer.
+func (Nop) RequestStart(id int64, write bool, class uint8, offsetSectors, sectors int64, pages int, at float64) {
+}
+
+// RequestEnd implements Tracer.
+func (Nop) RequestEnd(id int64, write bool, done float64) {}
+
+// FlashOp implements Tracer.
+func (Nop) FlashOp(op FlashOpKind, class uint8, chip int, ppn int64, start, done float64) {}
+
+// GCVictim implements Tracer.
+func (Nop) GCVictim(plane int, victim int64, validPages int, at float64) {}
+
+// GCSpan implements Tracer.
+func (Nop) GCSpan(plane int, victims, migrated int, start, end float64) {}
+
+// AcrossEvent implements Tracer.
+func (Nop) AcrossEvent(kind AcrossKind, startSector, sectors int64, at float64) {}
+
+// CacheAccess implements Tracer.
+func (Nop) CacheAccess(kind CacheKind, hit bool, at float64) {}
+
+// Flush implements Tracer.
+func (Nop) Flush() error { return nil }

@@ -1,0 +1,92 @@
+package obs
+
+// Counter is a monotonically growing int64 series handle. Handles are plain
+// pointers so the instrumented hot path pays one inlined increment and zero
+// allocations per update.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time float64 series handle.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the value.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry names counters and gauges so the Sampler can snapshot them into
+// every Sample's Custom map. Registration is idempotent (the same name
+// returns the same handle), and a snapshot walks names in registration
+// order so rendered series keep stable column order. The registry is not
+// goroutine-safe — the simulator is single-threaded per replay; concurrent
+// replays each own a registry.
+type Registry struct {
+	names    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.names = append(r.names, name)
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge. A name may be
+// either a counter or a gauge, not both; a clash panics (programming bug).
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, ok := r.counters[name]; ok {
+		panic("obs: " + name + " is already registered as a counter")
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.names = append(r.names, name)
+	return g
+}
+
+// Names lists registered series in registration order.
+func (r *Registry) Names() []string { return r.names }
+
+// Snapshot copies every series' current value into dst (allocating it when
+// nil) and returns it.
+func (r *Registry) Snapshot(dst map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(r.names))
+	}
+	for _, n := range r.names {
+		if c, ok := r.counters[n]; ok {
+			dst[n] = float64(c.Value())
+		} else {
+			dst[n] = r.gauges[n].Value()
+		}
+	}
+	return dst
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"fmt"
+
+	"across/internal/obs"
+)
+
+// TimelineLatency tabulates a sampled metrics series as a
+// latency-over-time view: one row per sample with the window's request
+// count, mean read/write latency, queue depth at sample time, and the
+// cumulative WAF and GC-debt gauges. Feed it the samples of one replay
+// (obs.Sampler.Samples or a decoded metrics JSONL).
+func TimelineLatency(samples []obs.Sample) *Table {
+	t := New("Timeline: latency and pressure over simulated time",
+		"t (ms)", "reqs", "read mean (ms)", "write mean (ms)", "QD", "WAF", "GC debt (pages)")
+	for _, s := range samples {
+		t.Add(F(s.TimeMs, 1), N(s.Requests), F(s.ReadMeanMs, 3), F(s.WriteMeanMs, 3),
+			fmt.Sprintf("%d", s.QueueDepth), F(s.WAF, 3), N(s.GCDebtPages))
+	}
+	t.Note = "interval columns describe the window since the previous sample; WAF and GC debt are gauges at sample time"
+	return t
+}
+
+// TimelineUtilisation tabulates per-chip busy fractions over time: one row
+// per sample, one column per chip, plus the window mean. Fractions are the
+// share of the window the chip spent servicing commands.
+func TimelineUtilisation(samples []obs.Sample) *Table {
+	chips := 0
+	for _, s := range samples {
+		if len(s.ChipBusyFrac) > chips {
+			chips = len(s.ChipBusyFrac)
+		}
+	}
+	headers := make([]string, 0, chips+2)
+	headers = append(headers, "t (ms)")
+	for c := 0; c < chips; c++ {
+		headers = append(headers, fmt.Sprintf("chip %d", c))
+	}
+	headers = append(headers, "mean")
+	t := New("Timeline: per-chip utilisation", headers...)
+	for _, s := range samples {
+		row := make([]string, 0, chips+2)
+		row = append(row, F(s.TimeMs, 1))
+		var sum float64
+		for c := 0; c < chips; c++ {
+			var f float64
+			if c < len(s.ChipBusyFrac) {
+				f = s.ChipBusyFrac[c]
+			}
+			sum += f
+			row = append(row, Pct(f))
+		}
+		if chips > 0 {
+			row = append(row, Pct(sum/float64(chips)))
+		} else {
+			row = append(row, Pct(0))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Note = "busy fraction of each chip within the sample window"
+	return t
+}

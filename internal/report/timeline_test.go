@@ -1,0 +1,112 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"across/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the timeline golden files")
+
+// goldenSamples is a fixed three-window series shaped like a real replay:
+// a calm first window, a GC-pressured middle (latency spike, queue buildup,
+// rising WAF and debt), and a drained closing sample.
+func goldenSamples() []obs.Sample {
+	return []obs.Sample{
+		{
+			TimeMs: 50, Requests: 120, ReadMeanMs: 0.082, WriteMeanMs: 0.9015,
+			QueueDepth: 2, WAF: 1.0, GCDebtPages: 0,
+			ChipBusyFrac: []float64{0.42, 0.4405, 0.3995, 0.42},
+		},
+		{
+			TimeMs: 100, Requests: 96, ReadMeanMs: 0.145, WriteMeanMs: 3.511,
+			QueueDepth: 9, WAF: 1.372, GCDebtPages: 64,
+			ChipBusyFrac: []float64{0.98, 1.0, 0.9105, 0.96},
+		},
+		{
+			TimeMs: 131.7, Requests: 30, ReadMeanMs: 0.09, WriteMeanMs: 0.95,
+			QueueDepth: 0, WAF: 1.285, GCDebtPages: 0,
+			ChipBusyFrac: []float64{0.2195, 0.25, 0.1805, 0.2},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/report -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTimelineLatencyGolden(t *testing.T) {
+	tbl := TimelineLatency(goldenSamples())
+	for _, format := range []string{"text", "markdown", "csv"} {
+		var sb strings.Builder
+		tbl.RenderTo(&sb, format)
+		checkGolden(t, "timeline_latency."+format+".golden", sb.String())
+	}
+}
+
+func TestTimelineUtilisationGolden(t *testing.T) {
+	tbl := TimelineUtilisation(goldenSamples())
+	for _, format := range []string{"text", "markdown", "csv"} {
+		var sb strings.Builder
+		tbl.RenderTo(&sb, format)
+		checkGolden(t, "timeline_utilisation."+format+".golden", sb.String())
+	}
+}
+
+// TestTimelineUtilisationRagged covers series whose early samples carry no
+// busy fractions (e.g. the anchoring window): missing chips render as 0%
+// and the column count follows the widest sample.
+func TestTimelineUtilisationRagged(t *testing.T) {
+	samples := []obs.Sample{
+		{TimeMs: 10},
+		{TimeMs: 20, ChipBusyFrac: []float64{0.5, 0.25}},
+	}
+	var sb strings.Builder
+	TimelineUtilisation(samples).RenderTo(&sb, "csv")
+	out := sb.String()
+	for _, want := range []string{"chip 0", "chip 1", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if got, want := strings.Count(ln, ",")+1, 4; got != want {
+			t.Errorf("row %q has %d columns, want %d", ln, got, want)
+		}
+	}
+}
+
+// TestTimelineLatencyEmpty renders an empty series without panicking.
+func TestTimelineLatencyEmpty(t *testing.T) {
+	var sb strings.Builder
+	TimelineLatency(nil).RenderTo(&sb, "text")
+	TimelineUtilisation(nil).RenderTo(&sb, "text")
+	if sb.Len() == 0 {
+		t.Error("empty timeline rendered nothing at all (headers expected)")
+	}
+}

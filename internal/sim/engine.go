@@ -6,6 +6,7 @@ import (
 	"across/internal/acrossftl"
 	"across/internal/ftl"
 	"across/internal/mrsm"
+	"across/internal/obs"
 	"across/internal/ssdconf"
 	"across/internal/trace"
 )
@@ -19,6 +20,12 @@ type Runner struct {
 
 	warmed       bool
 	warmupWrites int64
+
+	// tracer and sampler, when set, observe subsequent replays (see
+	// observe.go). Both are installed at Replay entry so aging runs are
+	// never traced.
+	tracer  obs.Tracer
+	sampler *obs.Sampler
 }
 
 // NewRunner builds a scheme of the given kind on a fresh device.
@@ -72,6 +79,25 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 	if qd > 0 {
 		inflight = make([]float64, 0, qd)
 	}
+
+	// Observability (nil-guarded: the untraced replay pays one branch per
+	// site and zero allocations). The sampler tracks its own in-flight set
+	// so queue depth is observable even in open-loop mode.
+	trc := r.tracer
+	dev.SetTracer(trc)
+	smp := r.sampler
+	var (
+		obsInflight      []float64
+		hostPagesWritten int64
+		obsLastDone      float64
+		fill             func(*obs.Sample)
+	)
+	if smp != nil {
+		fill = func(sm *obs.Sample) {
+			r.fillSample(sm, res, len(obsInflight), hostPagesWritten)
+		}
+	}
+
 	for i, req := range reqs {
 		issue := req.Time
 		if qd > 0 {
@@ -94,6 +120,23 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 				}
 				issue = earliest
 			}
+		}
+		if smp != nil {
+			// Retire the sampler's in-flight view and advance its clock
+			// before dispatch, so a boundary sample sees the state as of
+			// this arrival, excluding the request being dispatched.
+			kept := obsInflight[:0]
+			for _, c := range obsInflight {
+				if c > issue {
+					kept = append(kept, c)
+				}
+			}
+			obsInflight = kept
+			smp.Tick(issue, fill)
+		}
+		if trc != nil {
+			trc.RequestStart(int64(i), req.Op == trace.OpWrite, uint8(req.Classify(spp)),
+				req.Offset, int64(req.Count), int(req.LastLPN(spp)-req.FirstLPN(spp))+1, issue)
 		}
 		var (
 			done float64
@@ -118,6 +161,19 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 		// Latency is measured from the trace arrival, so queueing delay in
 		// the host queue (QD mode) counts toward the response time.
 		lat := done - req.Time
+		if trc != nil {
+			trc.RequestEnd(int64(i), req.Op == trace.OpWrite, done)
+		}
+		if smp != nil {
+			smp.Note(req.Op == trace.OpWrite, lat)
+			if req.Op == trace.OpWrite {
+				hostPagesWritten += req.LastLPN(spp) - req.FirstLPN(spp) + 1
+			}
+			obsInflight = append(obsInflight, done)
+			if done > obsLastDone {
+				obsLastDone = done
+			}
+		}
 		res.Requests++
 		if req.Op == trace.OpWrite {
 			res.WriteCount++
@@ -146,6 +202,14 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 	}
 	if n := len(reqs); n > 0 {
 		res.TraceSpanMs = reqs[n-1].Time - reqs[0].Time
+		// The measured makespan runs to the device idle horizon: service
+		// (and GC) extends past the last arrival, so utilisation uses this
+		// denominator, not the arrival span.
+		end := dev.Sched.Horizon()
+		if reqs[n-1].Time > end {
+			end = reqs[n-1].Time
+		}
+		res.MeasuredSpanMs = end - reqs[0].Time
 	}
 	switch s := r.Scheme.(type) {
 	case *acrossftl.Scheme:
@@ -154,6 +218,28 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 		res.CMT = s.CMTStats()
 	case *mrsm.Scheme:
 		res.CMT = s.CMTStats()
+	}
+	if smp != nil {
+		// The run ends when the last completion lands: bus transfers can
+		// finish after the chip-busy horizon, and arrivals can trail the
+		// horizon on idle tails.
+		end := dev.Sched.Horizon()
+		if obsLastDone > end {
+			end = obsLastDone
+		}
+		if n := len(reqs); n > 0 && reqs[n-1].Time > end {
+			end = reqs[n-1].Time
+		}
+		// Retire everything that completes by then so the closing sample
+		// reports the drained queue.
+		kept := obsInflight[:0]
+		for _, c := range obsInflight {
+			if c > end {
+				kept = append(kept, c)
+			}
+		}
+		obsInflight = kept
+		smp.Finish(end, fill)
 	}
 	return res, nil
 }

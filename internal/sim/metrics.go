@@ -52,10 +52,10 @@ type BucketKey struct {
 // wear-levelling view of endurance (a uniform distribution wears out later
 // than the same mean with a hot tail).
 type WearSummary struct {
-	Mean   float64
-	StdDev float64
-	Min    int64
-	Max    int64
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
 }
 
 // Result is everything one replay produces.
@@ -87,19 +87,31 @@ type Result struct {
 	ChipBusyMs []float64
 	// TraceSpanMs is the arrival span of the replayed trace.
 	TraceSpanMs float64
+	// MeasuredSpanMs is the measured-phase makespan: first arrival to the
+	// later of the last arrival and the device idle horizon. Service and GC
+	// extend past the last arrival, so this — not TraceSpanMs — is the
+	// utilisation denominator.
+	MeasuredSpanMs float64
 
 	WarmupWrites int64 // page programs spent aging (not in Counters)
 }
 
-// ChipUtilisation returns per-chip busy fractions over the trace span
-// (nil when the span is zero).
+// ChipUtilisation returns per-chip busy fractions over the measured
+// makespan (nil when the span is zero). Dividing by the arrival span
+// instead would report fractions above 1.0 whenever service runs past the
+// last arrival — e.g. a burst trace whose requests all arrive up front;
+// results recorded before MeasuredSpanMs existed fall back to it.
 func (r *Result) ChipUtilisation() []float64 {
-	if r.TraceSpanMs <= 0 {
+	span := r.MeasuredSpanMs
+	if span <= 0 {
+		span = r.TraceSpanMs
+	}
+	if span <= 0 {
 		return nil
 	}
 	out := make([]float64, len(r.ChipBusyMs))
 	for i, b := range r.ChipBusyMs {
-		out[i] = b / r.TraceSpanMs
+		out[i] = b / span
 	}
 	return out
 }

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The timeline and ext-tail reports read P99/P999 straight off replay
+// histograms whose shapes are extreme: empty read histograms on write-only
+// traces, single-request windows, and heavily GC-skewed write tails. These
+// tests pin the tail-quantile behaviour on exactly those shapes.
+
+func TestTailQuantilesEmpty(t *testing.T) {
+	var h Histogram
+	if h.P99() != 0 || h.P999() != 0 {
+		t.Errorf("empty histogram tails P99=%v P999=%v, want 0/0", h.P99(), h.P999())
+	}
+}
+
+func TestTailQuantilesSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Add(3.25)
+	// With one observation every quantile is that observation; the bucket
+	// midpoint estimate must still be capped by the exact max.
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if got > h.Max() {
+			t.Errorf("Quantile(%v) = %v exceeds the only observation %v", q, got, h.Max())
+		}
+		if got < 3.25*0.91 {
+			t.Errorf("Quantile(%v) = %v, more than one bucket below the only observation", q, got)
+		}
+	}
+	if h.P999() < h.P99() {
+		t.Errorf("P999 %v < P99 %v on a single observation", h.P999(), h.P99())
+	}
+}
+
+// TestTailQuantilesSkewed models the GC-burst latency shape: a tight body
+// (cache-speed services) with a sparse far tail two orders of magnitude out.
+// The tail quantiles must land in the tail, not the body, and stay within
+// bucket resolution (~9%) of the exact order statistics.
+func TestTailQuantilesSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	var vals []float64
+	for i := 0; i < 100000; i++ {
+		v := 0.05 + rng.Float64()*0.05 // body: 0.05–0.1 ms
+		if i%200 == 199 {
+			v = 8 + rng.Float64()*4 // 0.5% tail: 8–12 ms GC stalls
+		}
+		h.Add(v)
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, tc := range []struct {
+		name  string
+		got   float64
+		exact float64
+	}{
+		{"P99", h.P99(), vals[int(0.99*float64(len(vals)))]},
+		{"P999", h.P999(), vals[int(0.999*float64(len(vals)))]},
+	} {
+		if tc.got < tc.exact*0.90 || tc.got > tc.exact*1.10 {
+			t.Errorf("%s = %v, exact %v (outside bucket resolution)", tc.name, tc.got, tc.exact)
+		}
+	}
+	// The tail population is 0.5%, so P99 must sit in the body and P999 in
+	// the stall band — a histogram that smears the two regimes together
+	// would misreport GC impact.
+	if h.P99() > 1 {
+		t.Errorf("P99 = %v landed in the GC tail; 99%% of observations are below 0.1 ms", h.P99())
+	}
+	if h.P999() < 8*0.90 {
+		t.Errorf("P999 = %v landed in the body; the top 0.5%% are 8 ms stalls", h.P999())
+	}
+	if h.Max() < 8 {
+		t.Errorf("Max = %v lost the stall band", h.Max())
+	}
+}
+
+// TestTailQuantilesTwoPoint pins the boundary arithmetic: with 998 equal
+// fast observations and 2 slow ones, rank 999 of 1000 falls on a slow
+// observation, so P999 must report the outlier band while P99 stays in the
+// body.
+func TestTailQuantilesTwoPoint(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 998; i++ {
+		h.Add(0.1)
+	}
+	h.Add(50)
+	h.Add(50)
+	if p := h.P999(); p < 50*0.91 || p > 50 {
+		t.Errorf("P999 = %v, want the 50 ms outlier band (within bucket resolution)", p)
+	}
+	if p := h.P99(); p > 0.11 {
+		t.Errorf("P99 = %v, want the 0.1 ms body", p)
+	}
+}
