@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"across/internal/acrossftl"
+	"across/internal/check"
 	"across/internal/experiments"
 	"across/internal/ftl"
 	"across/internal/hostcache"
@@ -285,6 +286,17 @@ func OpenTraceFile(path string, chips int) (Tracer, io.Closer, error) {
 func OpenMetricsFile(path string) (*obs.JSONLMetrics, io.Closer, error) {
 	return obs.OpenMetrics(path)
 }
+
+// Checker drives the correctness-verification layer during a replay: a
+// data-integrity shadow model consulted after every host request and a
+// device-wide invariant audit run periodically and at end of run. Install one
+// with Runner.EnableChecks; any violation aborts the replay with a
+// descriptive error.
+type Checker = check.Checker
+
+// CheckOptions configures a Checker: Shadow enables the per-request shadow
+// model, AuditEvery sets the audit period in requests (0 = end of run only).
+type CheckOptions = check.Options
 
 // ExperimentConfigDefaults returns the default harness configuration:
 // scaled Table 1 geometry, 5% trace lengths, aged device, 61-trace Fig 2

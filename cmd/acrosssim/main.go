@@ -31,6 +31,9 @@ func main() {
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 
+		checkFlag  = flag.Bool("check", false, "verify the replay: shadow model on every request, device audit at end of run")
+		auditEvery = flag.Int64("audit-every", 0, "with -check: also run the device-wide audit every N requests (implies -check)")
+
 		traceOut   = flag.String("trace-out", "", "write an execution trace (.jsonl = event lines; anything else = Chrome trace_event JSON for Perfetto)")
 		metricsOut = flag.String("metrics-out", "", "write sampled time-series metrics as JSONL")
 		metricsInt = flag.Float64("metrics-interval-ms", 50, "sampling interval in simulated ms (with -metrics-out or -timeline)")
@@ -112,6 +115,14 @@ func main() {
 		}
 	}
 
+	var chk *across.Checker
+	if *checkFlag || *auditEvery > 0 {
+		chk, err = r.EnableChecks(across.CheckOptions{Shadow: true, AuditEvery: *auditEvery})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	var closers []io.Closer
 	if *traceOut != "" {
 		trc, c, err := across.OpenTraceFile(*traceOut, cfg.Chips())
@@ -165,6 +176,10 @@ func main() {
 		c.Erases, res.Wear.Mean, res.Wear.StdDev, res.Wear.Min, res.Wear.Max)
 	fmt.Printf("dram   : %d mapping accesses, table %.2f MB\n",
 		c.DRAMAccesses, float64(res.TableBytes)/(1<<20))
+	if chk != nil {
+		fmt.Printf("verify : clean — %d device audits, %d sector checks\n",
+			chk.Audits(), chk.SectorChecks())
+	}
 	if res.Across != nil {
 		a := res.Across
 		d, p, u := a.ComponentShares()

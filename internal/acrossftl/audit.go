@@ -75,3 +75,95 @@ func (s *Scheme) Audit() error {
 	}
 	return nil
 }
+
+// auditAreaDisjointness verifies that no two live areas cover a common
+// sector. The write path maintains this by reconciling every conflicting
+// area (AMerge or ARollback) before installing a new one; were two areas to
+// overlap, reads of the shared sectors would be ambiguous. O(live areas²),
+// audit path only.
+func (s *Scheme) auditAreaDisjointness() error {
+	live := make([]area, 0, s.AMT.Live())
+	for idx := int32(0); int(idx) < s.AMT.Slots(); idx++ {
+		if s.AMT.InUse(idx) {
+			live = append(live, area{idx: idx, e: s.AMT.Get(idx)})
+		}
+	}
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			a, b := live[i], live[j]
+			if s.spanOf(a.e).intersects(s.spanOf(b.e)) {
+				return fmt.Errorf("audit: areas %d %+v and %d %+v overlap",
+					a.idx, s.spanOf(a.e), b.idx, s.spanOf(b.e))
+			}
+		}
+	}
+	return nil
+}
+
+// AuditMapping implements check.Auditable: the two-level PMT+AMT audit plus
+// pairwise disjointness of live area extents and the AMT spill store.
+func (s *Scheme) AuditMapping() error {
+	if err := s.Audit(); err != nil {
+		return err
+	}
+	if err := s.auditAreaDisjointness(); err != nil {
+		return err
+	}
+	return s.ms.Audit()
+}
+
+// VisitOwned implements check.Auditable: the flash pages owned by the PMT
+// (normally mapped data), the AMT (across-area pages) and the map store
+// (spilled AMT translation pages).
+func (s *Scheme) VisitOwned(fn func(flash.PPN) error) error {
+	if err := s.VisitPMT(fn); err != nil {
+		return err
+	}
+	for idx := int32(0); int(idx) < s.AMT.Slots(); idx++ {
+		if s.AMT.InUse(idx) {
+			if err := fn(s.AMT.Get(idx).APPN); err != nil {
+				return err
+			}
+		}
+	}
+	return s.ms.VisitPages(fn)
+}
+
+// ResolveSector implements check.SectorResolver. Area coverage wins over the
+// page mapping: an across write does not invalidate the underlying PMT pages
+// (they still hold sectors outside the area), so a covered sector's newest
+// copy is the area page even when a PMT page exists. An area keyed at LPN L
+// covers sectors inside pages L and L+1, so a sector in page M consults the
+// areas keyed at M and M-1.
+func (s *Scheme) ResolveSector(sec int64) (ftl.SectorSource, error) {
+	if sec < 0 || sec >= s.Conf.LogicalSectors() {
+		return ftl.SectorSource{}, fmt.Errorf("acrossftl: sector %d outside device", sec)
+	}
+	lpn := sec / int64(s.SPP)
+	for _, key := range [2]int64{lpn, lpn - 1} {
+		a, ok := s.areaAt(key)
+		if !ok {
+			continue
+		}
+		if sp := s.spanOf(a.e); sp.Start <= sec && sec < sp.End {
+			return ftl.SectorSource{
+				Kind: ftl.SrcFlash,
+				PPN:  a.e.APPN,
+				Tag: flash.Tag{
+					Kind: ftl.TagAcross,
+					Key:  int64(a.idx),
+					Aux:  packAux(a.e.LPN, a.e.Off, a.e.Size),
+				},
+			}, nil
+		}
+	}
+	ppn := s.PMT.PPNOf(lpn)
+	if ppn == flash.NilPPN {
+		return ftl.SectorSource{Kind: ftl.SrcUnwritten}, nil
+	}
+	return ftl.SectorSource{
+		Kind: ftl.SrcFlash,
+		PPN:  ppn,
+		Tag:  flash.Tag{Kind: ftl.TagData, Key: lpn},
+	}, nil
+}

@@ -1,0 +1,63 @@
+// Package check is the correctness-verification layer of the simulator: a
+// pluggable subsystem that turns silent bookkeeping corruption — the failure
+// mode a counters-only simulator cannot see — into hard errors. It has two
+// halves:
+//
+//   - A device-wide invariant auditor (Checker.Audit) that generalises
+//     acrossftl.Audit to every scheme: mapping→flash referential integrity,
+//     per-block page-state/valid-count/write-pointer consistency, ownership
+//     bijection (every valid flash page is owned by exactly one mapping
+//     entry), allocator free-space accounting, write-pointer monotonicity,
+//     and erase/program/read attribution identities between the flash array
+//     and the Device counters.
+//
+//   - A data-integrity shadow model (Checker.OnWrite/OnRead) that tracks the
+//     set of live logical sectors and verifies, on every host request, that
+//     each written sector resolves to a live source whose OOB tag matches
+//     the owner's claim. The OOB tag plays the role of a content fingerprint
+//     (the simulator carries no user data): a lost write, a misdirected
+//     read, or a GC relocation that corrupts a mapping all surface as a tag
+//     or liveness mismatch.
+//
+// Schemes opt in structurally: they implement Auditable and SectorResolver
+// without importing this package (the SectorSource vocabulary lives in
+// ftl). The sim engine drives an installed Checker behind nil guards, so
+// the disabled path — the default — costs zero allocations and one branch
+// per request, like the obs layer.
+package check
+
+import (
+	"across/internal/flash"
+	"across/internal/ftl"
+)
+
+// Auditable is a scheme whose mapping structures can be audited against the
+// flash array. AuditMapping verifies scheme-internal referential integrity
+// (every mapping entry references a valid, correctly tagged flash page);
+// VisitOwned enumerates every flash page the scheme's mapping structures
+// currently claim, calling fn once per claim — the checker cross-checks the
+// enumeration against the array's valid-page census to prove the ownership
+// relation is a bijection.
+type Auditable interface {
+	ftl.Scheme
+	AuditMapping() error
+	VisitOwned(fn func(flash.PPN) error) error
+}
+
+// SectorResolver is a scheme that can say where a logical sector's current
+// contents live. Resolution must be side-effect-free: it may not touch
+// caches, charge costs, or move data.
+type SectorResolver interface {
+	ResolveSector(sec int64) (ftl.SectorSource, error)
+}
+
+// Options configures a Checker.
+type Options struct {
+	// Shadow enables the data-integrity shadow model: per-sector liveness
+	// tracking verified on every host read and write.
+	Shadow bool
+	// AuditEvery runs the device-wide audit every N host requests (0 = only
+	// at the end of a replay). Audits are O(device), so small N on large
+	// configs is slow — that is the point of making it a dial.
+	AuditEvery int64
+}

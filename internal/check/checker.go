@@ -1,0 +1,359 @@
+package check
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+	"across/internal/ftl"
+	"across/internal/trace"
+)
+
+// Checker verifies one scheme instance over its device. Install it on a
+// sim.Runner (SetChecker) to have the engine drive it during replays, or
+// drive it directly from tests: BeginReplay once, OnWrite/OnRead per
+// request, Finish at the end. A Checker is observation only — it never
+// mutates scheme or device state — so a checked replay produces a
+// bit-identical Result to an unchecked one.
+type Checker struct {
+	scheme ftl.Scheme
+	aud    Auditable
+	res    SectorResolver // nil unless Options.Shadow
+	dev    *ftl.Device
+	opts   Options
+
+	logicalSectors int64
+
+	// written is the shadow model's liveness bitset: one bit per logical
+	// sector, set when the sector has (or had at BeginReplay) a resolvable
+	// source. Liveness is monotone — the device has no discard — so a set
+	// bit that stops resolving is a lost write.
+	written []uint64
+
+	// owned is the audit sweep's scratch bitset over physical pages,
+	// reused across audits.
+	owned []uint64
+
+	// prevWP/prevEC snapshot per-block write pointers and erase counters at
+	// the previous audit, proving write-pointer monotonicity: a pointer may
+	// only move backwards if the block was erased in between.
+	prevWP []int32
+	prevEC []int64
+
+	// Replay-start totals for the attribution identities: everything the
+	// array does during a measured phase must be visible in the Device's
+	// attributed counters.
+	basePrograms, baseReads, baseErases int64
+	began                               bool
+
+	reqs         int64
+	audits       int64
+	sectorChecks int64
+}
+
+// New builds a Checker for the scheme. The scheme must implement Auditable;
+// with opts.Shadow it must also implement SectorResolver. Wrapped schemes
+// (hostcache) forward both, so any stack built from the repository's schemes
+// is checkable.
+func New(s ftl.Scheme, opts Options) (*Checker, error) {
+	aud, ok := s.(Auditable)
+	if !ok {
+		return nil, fmt.Errorf("check: scheme %s does not implement Auditable", s.Name())
+	}
+	c := &Checker{
+		scheme:         s,
+		aud:            aud,
+		dev:            s.Device(),
+		opts:           opts,
+		logicalSectors: s.Device().Conf.LogicalSectors(),
+	}
+	if opts.Shadow {
+		res, ok := s.(SectorResolver)
+		if !ok {
+			return nil, fmt.Errorf("check: scheme %s does not implement SectorResolver", s.Name())
+		}
+		c.res = res
+	}
+	return c, nil
+}
+
+// Audits returns how many device-wide audits have run.
+func (c *Checker) Audits() int64 { return c.audits }
+
+// SectorChecks returns how many per-sector shadow verifications have run.
+func (c *Checker) SectorChecks() int64 { return c.sectorChecks }
+
+// Requests returns how many host requests the checker has observed since
+// BeginReplay.
+func (c *Checker) Requests() int64 { return c.reqs }
+
+func (c *Checker) setWritten(sec int64) { c.written[sec>>6] |= 1 << uint(sec&63) }
+func (c *Checker) isWritten(sec int64) bool {
+	return c.written[sec>>6]&(1<<uint(sec&63)) != 0
+}
+
+// BeginReplay arms the checker for a measured phase. The engine calls it
+// right after Device.ResetMeasurement, so the attribution identities compare
+// array totals against freshly zeroed counters. The shadow bitset is seeded
+// from the scheme's current resolution — aged or recovered state counts as
+// written — which makes liveness checkable without having observed the
+// warm-up.
+func (c *Checker) BeginReplay() error {
+	arr := c.dev.Array
+	c.began = true
+	c.basePrograms = arr.TotalPrograms()
+	c.baseReads = arr.TotalReads()
+	c.baseErases = arr.TotalErases()
+	c.reqs = 0
+
+	nb := arr.Geo.TotalBlocks()
+	if c.prevWP == nil {
+		c.prevWP = make([]int32, nb)
+		c.prevEC = make([]int64, nb)
+	}
+	for b := flash.BlockID(0); int64(b) < nb; b++ {
+		c.prevWP[b] = int32(arr.WritePtr(b))
+		c.prevEC[b] = arr.EraseCount(b)
+	}
+
+	if c.opts.Shadow {
+		words := (c.logicalSectors + 63) / 64
+		if c.written == nil {
+			c.written = make([]uint64, words)
+		} else {
+			for i := range c.written {
+				c.written[i] = 0
+			}
+		}
+		for sec := int64(0); sec < c.logicalSectors; sec++ {
+			src, err := c.res.ResolveSector(sec)
+			if err != nil {
+				return fmt.Errorf("check: seeding shadow model: %w", err)
+			}
+			if src.Kind != ftl.SrcUnwritten {
+				c.setWritten(sec)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLive verifies one written sector's claimed source against the array.
+func (c *Checker) checkLive(sec int64) error {
+	c.sectorChecks++
+	src, err := c.res.ResolveSector(sec)
+	if err != nil {
+		return fmt.Errorf("sector %d: %w", sec, err)
+	}
+	switch src.Kind {
+	case ftl.SrcUnwritten:
+		return fmt.Errorf("lost write: sector %d was written but has no source", sec)
+	case ftl.SrcBuffered:
+		return nil
+	case ftl.SrcFlash:
+		if st := c.dev.Array.State(src.PPN); st != flash.PageValid {
+			return fmt.Errorf("dangling source: sector %d resolves to %v page %d", sec, st, src.PPN)
+		}
+		if tag := c.dev.Array.TagOf(src.PPN); tag != src.Tag {
+			return fmt.Errorf("misdirected source: sector %d page %d holds tag %+v, owner expects %+v",
+				sec, src.PPN, tag, src.Tag)
+		}
+		return nil
+	}
+	return fmt.Errorf("sector %d: unknown source kind %v", sec, src.Kind)
+}
+
+// OnWrite verifies a completed host write: every sector of the request is
+// now live and must resolve to a valid, correctly tagged source. A write the
+// scheme dropped (or mapped to the wrong page) fails here, on the very
+// request that lost it.
+func (c *Checker) OnWrite(r trace.Request) error {
+	c.reqs++
+	if c.opts.Shadow {
+		for sec := r.Offset; sec < r.End(); sec++ {
+			c.setWritten(sec)
+			if err := c.checkLive(sec); err != nil {
+				return fmt.Errorf("check: after write: %w", err)
+			}
+		}
+	}
+	return c.maybeAudit()
+}
+
+// OnRead verifies a completed host read: every previously written sector in
+// the range must still resolve. Never-written sectors are unconstrained —
+// page-granularity materialisation (baseline RMW, MRSM sub-page staging)
+// legitimately gives them a source.
+func (c *Checker) OnRead(r trace.Request) error {
+	c.reqs++
+	if c.opts.Shadow {
+		for sec := r.Offset; sec < r.End(); sec++ {
+			if !c.isWritten(sec) {
+				continue
+			}
+			if err := c.checkLive(sec); err != nil {
+				return fmt.Errorf("check: after read: %w", err)
+			}
+		}
+	}
+	return c.maybeAudit()
+}
+
+func (c *Checker) maybeAudit() error {
+	if n := c.opts.AuditEvery; n > 0 && c.reqs%n == 0 {
+		return c.Audit()
+	}
+	return nil
+}
+
+// Finish runs the end-of-replay audit.
+func (c *Checker) Finish() error { return c.Audit() }
+
+// Audit runs the device-wide invariant sweep. O(physical pages + logical
+// pages); callable at any request boundary.
+func (c *Checker) Audit() error {
+	c.audits++
+
+	// Scheme-internal referential integrity first: it produces the most
+	// specific diagnostics.
+	if err := c.aud.AuditMapping(); err != nil {
+		return fmt.Errorf("check: mapping audit: %w", err)
+	}
+
+	arr := c.dev.Array
+	geo := &arr.Geo
+	ppb := geo.PagesPerBlock
+	nb := geo.TotalBlocks()
+
+	// Per-block layout: states partition around the write pointer, the
+	// valid-count cache is conserved, write pointers move monotonically
+	// between audits (modulo erase), and erase counters never decrease.
+	var totalValid, eraseSum int64
+	for b := flash.BlockID(0); int64(b) < nb; b++ {
+		wp := arr.WritePtr(b)
+		if wp < 0 || wp > ppb {
+			return fmt.Errorf("check: block %d write pointer %d outside [0,%d]", b, wp, ppb)
+		}
+		first := geo.FirstPage(b)
+		valid := 0
+		for i := 0; i < ppb; i++ {
+			p := first + flash.PPN(i)
+			st := arr.State(p)
+			if i < wp {
+				if st == flash.PageFree {
+					return fmt.Errorf("check: block %d page %d free below write pointer %d", b, i, wp)
+				}
+				if st == flash.PageValid {
+					valid++
+					if arr.TagOf(p) == flash.NilTag {
+						return fmt.Errorf("check: block %d page %d valid with nil OOB tag", b, i)
+					}
+				}
+			} else {
+				if st != flash.PageFree {
+					return fmt.Errorf("check: block %d page %d %v above write pointer %d", b, i, st, wp)
+				}
+				if arr.TagOf(p) != flash.NilTag {
+					return fmt.Errorf("check: block %d free page %d carries tag %+v", b, i, arr.TagOf(p))
+				}
+			}
+		}
+		if valid != arr.ValidCount(b) {
+			return fmt.Errorf("check: block %d valid-count %d, counted %d", b, arr.ValidCount(b), valid)
+		}
+		totalValid += int64(valid)
+		ec := arr.EraseCount(b)
+		eraseSum += ec
+		if c.prevWP != nil {
+			if ec < c.prevEC[b] {
+				return fmt.Errorf("check: block %d erase count moved backwards (%d -> %d)", b, c.prevEC[b], ec)
+			}
+			if int32(wp) < c.prevWP[b] && ec == c.prevEC[b] {
+				return fmt.Errorf("check: block %d write pointer moved backwards (%d -> %d) without erase",
+					b, c.prevWP[b], wp)
+			}
+			c.prevWP[b] = int32(wp)
+			c.prevEC[b] = ec
+		}
+	}
+	if eraseSum != arr.TotalErases() {
+		return fmt.Errorf("check: per-block erase counters sum to %d, array total %d", eraseSum, arr.TotalErases())
+	}
+
+	// Allocator free-space accounting: the plane's cached free-page count
+	// must equal the sum of programmable pages over its blocks. Between
+	// requests no reservation is outstanding, so the identity is exact.
+	if al := c.allocator(); al != nil {
+		for pl := flash.PlaneID(0); int(pl) < geo.Planes; pl++ {
+			var free int64
+			lo, hi := geo.BlocksOfPlane(pl)
+			for b := lo; b < hi; b++ {
+				free += int64(arr.FreeInBlock(b))
+			}
+			if got := al.FreePages(pl); got != free {
+				return fmt.Errorf("check: plane %d allocator says %d free pages, blocks hold %d", pl, got, free)
+			}
+		}
+	}
+
+	// Ownership bijection: every page the mapping structures claim must be
+	// valid and claimed exactly once, and the claims must account for every
+	// valid page on the device. Together with the per-claim tag checks in
+	// AuditMapping this proves mapping↔flash ownership is a bijection —
+	// no leaked (unreclaimable) pages, no doubly owned pages.
+	words := (geo.TotalPages() + 63) / 64
+	if c.owned == nil {
+		c.owned = make([]uint64, words)
+	} else {
+		for i := range c.owned {
+			c.owned[i] = 0
+		}
+	}
+	var ownedCount int64
+	err := c.aud.VisitOwned(func(p flash.PPN) error {
+		if err := geo.CheckPPN(p); err != nil {
+			return err
+		}
+		if st := arr.State(p); st != flash.PageValid {
+			return fmt.Errorf("owned page %d is %v", p, st)
+		}
+		if c.owned[p>>6]&(1<<uint(p&63)) != 0 {
+			return fmt.Errorf("page %d owned twice", p)
+		}
+		c.owned[p>>6] |= 1 << uint(p&63)
+		ownedCount++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("check: ownership sweep: %w", err)
+	}
+	if ownedCount != totalValid {
+		return fmt.Errorf("check: %d valid pages on flash, %d owned by mapping structures (leak or double count)",
+			totalValid, ownedCount)
+	}
+
+	// Attribution identities: during a measured phase, every array
+	// operation must be visible in the Device's attributed counters —
+	// nothing may program, read or erase behind the accounting that the
+	// paper's figures are computed from.
+	if c.began {
+		if got, want := c.dev.Count.FlashWrites(), arr.TotalPrograms()-c.basePrograms; got != want {
+			return fmt.Errorf("check: device counters attribute %d programs, array performed %d", got, want)
+		}
+		if got, want := c.dev.Count.FlashReads(), arr.TotalReads()-c.baseReads; got != want {
+			return fmt.Errorf("check: device counters attribute %d reads, array performed %d", got, want)
+		}
+		if got, want := c.dev.Count.Erases, arr.TotalErases()-c.baseErases; got != want {
+			return fmt.Errorf("check: device counters attribute %d erases, array performed %d", got, want)
+		}
+	}
+	return nil
+}
+
+// allocator returns the scheme's page allocator when it exposes one (the
+// same capability discovery the metrics sampler uses).
+func (c *Checker) allocator() *ftl.Allocator {
+	if al, ok := c.scheme.(interface{ Allocator() *ftl.Allocator }); ok {
+		return al.Allocator()
+	}
+	return nil
+}

@@ -77,7 +77,9 @@ type Array struct {
 	validCount []int32 // per block: pages in PageValid
 	eraseCount []int64 // per block: endurance metric
 
-	erases int64 // total erase operations (the paper's endurance metric)
+	erases   int64 // total erase operations (the paper's endurance metric)
+	programs int64 // total program operations (audit accounting identity)
+	reads    int64 // total read operations (audit accounting identity)
 
 	vidx victimIndex // incrementally maintained GC victim index
 }
@@ -138,6 +140,7 @@ func (a *Array) Program(p PPN, tag Tag) error {
 	a.tags[p] = tag
 	a.writePtr[bid]++
 	a.validCount[bid]++
+	a.programs++
 	if int(a.writePtr[bid]) == a.Geo.PagesPerBlock {
 		// The block just became full: it is now a GC victim candidate.
 		a.vidx.blockFilled(a.Geo.PlaneOfBlock(bid), bid, int(a.validCount[bid]))
@@ -155,6 +158,7 @@ func (a *Array) Read(p PPN) error {
 	if a.state[p] == PageFree {
 		return fmt.Errorf("%w: ppn %d", ErrReadUnwritten, p)
 	}
+	a.reads++
 	return nil
 }
 
@@ -216,6 +220,15 @@ func (a *Array) EraseCount(bid BlockID) int64 { return a.eraseCount[bid] }
 // TotalErases returns the device-wide erase count — the endurance indicator
 // reported in Figs 11 and 14(b).
 func (a *Array) TotalErases() int64 { return a.erases }
+
+// TotalPrograms returns the device-wide program count since construction.
+// The verification layer checks it against the Device's attributed write
+// counters, so nothing can program the array behind the accounting.
+func (a *Array) TotalPrograms() int64 { return a.programs }
+
+// TotalReads returns the device-wide read count since construction; the
+// counterpart of TotalPrograms for the read-attribution identity.
+func (a *Array) TotalReads() int64 { return a.reads }
 
 // CountStates tallies page states over the whole device; used by aging and
 // by tests. With the flattened layout this is a scan of the two per-block

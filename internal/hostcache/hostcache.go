@@ -13,7 +13,10 @@
 package hostcache
 
 import (
+	"fmt"
+
 	"across/internal/cache"
+	"across/internal/flash"
 	"across/internal/ftl"
 	"across/internal/obs"
 	"across/internal/trace"
@@ -71,6 +74,37 @@ func (s *Scheme) ResetStats() {
 	if sr, ok := s.inner.(interface{ ResetStats() }); ok {
 		sr.ResetStats()
 	}
+}
+
+// AuditMapping forwards to the inner scheme so a cached stack stays
+// verifiable: the data buffer holds copies, never the sole copy (writes are
+// write-through), so the inner scheme's invariants are the device's.
+func (s *Scheme) AuditMapping() error {
+	if a, ok := s.inner.(interface{ AuditMapping() error }); ok {
+		return a.AuditMapping()
+	}
+	return fmt.Errorf("hostcache: inner scheme %s does not support auditing", s.inner.Name())
+}
+
+// VisitOwned forwards to the inner scheme (see AuditMapping).
+func (s *Scheme) VisitOwned(fn func(flash.PPN) error) error {
+	if v, ok := s.inner.(interface {
+		VisitOwned(func(flash.PPN) error) error
+	}); ok {
+		return v.VisitOwned(fn)
+	}
+	return fmt.Errorf("hostcache: inner scheme %s does not support auditing", s.inner.Name())
+}
+
+// ResolveSector forwards to the inner scheme: a cache hit serves a copy of
+// exactly the data the inner scheme's source holds.
+func (s *Scheme) ResolveSector(sec int64) (ftl.SectorSource, error) {
+	if r, ok := s.inner.(interface {
+		ResolveSector(int64) (ftl.SectorSource, error)
+	}); ok {
+		return r.ResolveSector(sec)
+	}
+	return ftl.SectorSource{}, fmt.Errorf("hostcache: inner scheme %s does not support resolution", s.inner.Name())
 }
 
 // Write implements ftl.Scheme: write-through. A full-page slice leaves the

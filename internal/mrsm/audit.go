@@ -1,0 +1,118 @@
+package mrsm
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+	"across/internal/ftl"
+)
+
+// AuditMapping implements check.Auditable: the sub-page location table, the
+// per-page slot census, the pack buffer and the map store must agree with
+// each other and with the flash array.
+func (s *Scheme) AuditMapping() error {
+	// Forward: every mapped sub-page points into a valid packed page whose
+	// census names it in exactly that slot. Buffered sub-pages must have no
+	// flash location (staging invalidates the old copy).
+	for sub := int64(0); sub < int64(len(s.subLoc)); sub++ {
+		loc := s.subLoc[sub]
+		if _, buffered := s.bufMap[sub]; buffered && loc != unmapped {
+			return fmt.Errorf("mrsm audit: buffered sub %d still has flash location %d", sub, loc)
+		}
+		if loc == unmapped {
+			continue
+		}
+		ppn := flash.PPN(loc / int64(s.subPerPg))
+		slot := int(loc % int64(s.subPerPg))
+		if st := s.Dev.Array.State(ppn); st != flash.PageValid {
+			return fmt.Errorf("mrsm audit: sub %d maps to %v page %d", sub, st, ppn)
+		}
+		tag := s.Dev.Array.TagOf(ppn)
+		if tag.Kind != ftl.TagMRSM {
+			return fmt.Errorf("mrsm audit: sub %d page %d has foreign tag %+v", sub, ppn, tag)
+		}
+		ps, ok := s.pages[ppn]
+		if !ok {
+			return fmt.Errorf("mrsm audit: sub %d maps to page %d with no slot census", sub, ppn)
+		}
+		if ps.owner[slot] != sub {
+			return fmt.Errorf("mrsm audit: sub %d claims page %d slot %d, census says sub %d",
+				sub, ppn, slot, ps.owner[slot])
+		}
+	}
+	// Reverse: every censused page is a valid flash page, its live count
+	// matches its occupied slots, and every occupied slot points back.
+	for ppn, ps := range s.pages {
+		if st := s.Dev.Array.State(ppn); st != flash.PageValid {
+			return fmt.Errorf("mrsm audit: censused page %d is %v", ppn, st)
+		}
+		live := 0
+		for slot, sub := range ps.owner {
+			if sub == unmapped {
+				continue
+			}
+			live++
+			want := int64(ppn)*int64(s.subPerPg) + int64(slot)
+			if sub < 0 || sub >= int64(len(s.subLoc)) {
+				return fmt.Errorf("mrsm audit: page %d slot %d holds out-of-range sub %d", ppn, slot, sub)
+			}
+			if s.subLoc[sub] != want {
+				return fmt.Errorf("mrsm audit: page %d slot %d holds sub %d, which maps to %d",
+					ppn, slot, sub, s.subLoc[sub])
+			}
+		}
+		if live != ps.live {
+			return fmt.Errorf("mrsm audit: page %d census live %d, counted %d", ppn, ps.live, live)
+		}
+		if live == 0 {
+			return fmt.Errorf("mrsm audit: page %d censused with no live slots (missed invalidate)", ppn)
+		}
+	}
+	// Pack buffer: bufMap and bufList must be inverse of each other.
+	if len(s.bufMap) != len(s.bufList) {
+		return fmt.Errorf("mrsm audit: pack buffer map has %d entries, list %d", len(s.bufMap), len(s.bufList))
+	}
+	for i, sub := range s.bufList {
+		if got, ok := s.bufMap[sub]; !ok || got != i {
+			return fmt.Errorf("mrsm audit: buffer slot %d holds sub %d, map says slot %d (present %v)",
+				i, sub, got, ok)
+		}
+	}
+	return s.ms.Audit()
+}
+
+// VisitOwned implements check.Auditable: the packed data pages in the census
+// plus the map store's translation pages. Census iteration is map-ordered
+// (nondeterministic); the checker's sweep is order-insensitive.
+func (s *Scheme) VisitOwned(fn func(flash.PPN) error) error {
+	for ppn := range s.pages {
+		if err := fn(ppn); err != nil {
+			return err
+		}
+	}
+	return s.ms.VisitPages(fn)
+}
+
+// ResolveSector implements check.SectorResolver: the sector's sub-page is
+// either staged in the pack buffer (newest copy in controller RAM) or lives
+// in the slot its location entry names. MRSM tags carry no owner key — GC
+// resolves ownership through the slot census — so the expected OOB tag is
+// the anonymous TagMRSM.
+func (s *Scheme) ResolveSector(sec int64) (ftl.SectorSource, error) {
+	if sec < 0 || sec >= s.Conf.LogicalSectors() {
+		return ftl.SectorSource{}, fmt.Errorf("mrsm: sector %d outside device", sec)
+	}
+	sub := sec / int64(s.subSec)
+	if _, buffered := s.bufMap[sub]; buffered {
+		return ftl.SectorSource{Kind: ftl.SrcBuffered}, nil
+	}
+	loc := s.subLoc[sub]
+	if loc == unmapped {
+		return ftl.SectorSource{Kind: ftl.SrcUnwritten}, nil
+	}
+	return ftl.SectorSource{
+		Kind: ftl.SrcFlash,
+		PPN:  flash.PPN(loc / int64(s.subPerPg)),
+		Tag:  flash.Tag{Kind: ftl.TagMRSM, Key: -1},
+	}, nil
+}

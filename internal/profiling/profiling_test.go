@@ -1,0 +1,87 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartStopNoFlags: the zero-configuration path must be a no-op that
+// never errors — every command calls Start/Stop unconditionally.
+func TestStartStopNoFlags(t *testing.T) {
+	f := &Flags{}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start with no flags: %v", err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop with no flags: %v", err)
+	}
+	// Stop is documented safe exactly once, but a second call on an idle
+	// Flags must still not error (cpuFile is nil again).
+	if err := f.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+// TestCPUProfileWritten: Start/Stop with a CPU destination produces a
+// non-empty profile file and leaves the handle closed.
+func TestCPUProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	f := &Flags{cpu: path}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	sum := 0
+	for i := 0; i < 1_000_000; i++ {
+		sum += i * i
+	}
+	_ = sum
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if f.cpuFile != nil {
+		t.Error("cpuFile not cleared after Stop")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+// TestMemProfileWritten: Stop writes a heap profile when requested.
+func TestMemProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	f := &Flags{mem: path}
+	if err := f.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile file: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+// TestStartFailsOnBadPath: an uncreatable destination is a clean error, not
+// a started-but-broken profiler.
+func TestStartFailsOnBadPath(t *testing.T) {
+	f := &Flags{cpu: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if err := f.Start(); err == nil {
+		t.Fatal("Start on uncreatable path succeeded")
+	}
+	if f.cpuFile != nil {
+		t.Error("cpuFile set after failed Start")
+	}
+	if err := f.Stop(); err != nil {
+		t.Fatalf("Stop after failed Start: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"across/internal/acrossftl"
+	"across/internal/check"
 	"across/internal/ftl"
 	"across/internal/mrsm"
 	"across/internal/obs"
@@ -26,6 +27,11 @@ type Runner struct {
 	// never traced.
 	tracer  obs.Tracer
 	sampler *obs.Sampler
+
+	// checker, when set, verifies subsequent replays (see verify.go): the
+	// shadow model after every request, the device-wide audit periodically
+	// and at end of run.
+	checker *check.Checker
 }
 
 // NewRunner builds a scheme of the given kind on a fresh device.
@@ -85,6 +91,15 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 	// so queue depth is observable even in open-loop mode.
 	trc := r.tracer
 	dev.SetTracer(trc)
+	// Verification (nil-guarded like the tracer: the unchecked replay pays
+	// one branch per request and zero allocations). BeginReplay runs after
+	// ResetMeasurement so the attribution identities see zeroed counters.
+	chk := r.checker
+	if chk != nil {
+		if err := chk.BeginReplay(); err != nil {
+			return nil, fmt.Errorf("sim: arming checker: %w", err)
+		}
+	}
 	smp := r.sampler
 	var (
 		obsInflight      []float64
@@ -155,6 +170,17 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: replaying request %d (%v): %w", i, req, err)
 		}
+		if chk != nil {
+			var cerr error
+			if req.Op == trace.OpWrite {
+				cerr = chk.OnWrite(req)
+			} else {
+				cerr = chk.OnRead(req)
+			}
+			if cerr != nil {
+				return nil, fmt.Errorf("sim: verification failed after request %d (%v): %w", i, req, cerr)
+			}
+		}
 		if qd > 0 {
 			inflight = append(inflight, done)
 		}
@@ -190,6 +216,12 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 		b.LatencySum += lat
 		b.Flushes += (dev.Count.DataWrites + dev.Count.GCWrites) - wBefore
 		b.FlashReads += (dev.Count.DataReads + dev.Count.GCReads) - rBefore
+	}
+
+	if chk != nil {
+		if err := chk.Finish(); err != nil {
+			return nil, fmt.Errorf("sim: end-of-replay verification failed: %w", err)
+		}
 	}
 
 	res.Counters = dev.Count

@@ -142,8 +142,32 @@ func (c *Config) Validate() error {
 	if c.GCThreshold > 0.5 {
 		return fmt.Errorf("ssdconf: GCThreshold %.2f leaves too little usable space", c.GCThreshold)
 	}
+	// Overflow guard: the derived totals (PlanesTotal → BlocksTotal →
+	// PagesTotal → PhysBytes) size slice allocations, so a geometry whose
+	// products wrap int64 — or describe an absurd device — must be rejected
+	// here, before any constructor calls make().
+	total := int64(1)
+	for _, dim := range [...]int64{
+		int64(c.Channels), int64(c.ChipsPerChan), int64(c.DiesPerChip),
+		int64(c.PlanesPerDie), int64(c.BlocksPerPlane), int64(c.PagesPerBlock),
+		int64(c.PageBytes),
+	} {
+		next := total * dim
+		if next/dim != total || next > maxPhysBytes {
+			return fmt.Errorf("ssdconf: geometry describes more than %d bytes of flash (or overflows)", int64(maxPhysBytes))
+		}
+		total = next
+	}
+	if c.LogicalPages() < 1 {
+		return fmt.Errorf("ssdconf: OverProvision %.4f leaves no exported logical pages", c.OverProvision)
+	}
 	return nil
 }
+
+// maxPhysBytes bounds the raw capacity Validate accepts: 1 PiB, far above
+// Table 1's 128 GiB but small enough that every derived count (pages,
+// blocks, sectors) fits comfortably in int64 arithmetic downstream.
+const maxPhysBytes = int64(1) << 50
 
 // String renders a short human-readable summary of the configuration.
 func (c *Config) String() string {

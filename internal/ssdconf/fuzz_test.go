@@ -1,0 +1,46 @@
+package ssdconf
+
+import "testing"
+
+// FuzzConfigValidate throws arbitrary geometry and FTL knobs at Validate:
+// it must never panic, and any configuration it accepts must have positive,
+// mutually consistent derived sizes — the contract every constructor's
+// make() calls rely on.
+func FuzzConfigValidate(f *testing.F) {
+	t1 := Table1()
+	f.Add(t1.Channels, t1.ChipsPerChan, t1.DiesPerChip, t1.PlanesPerDie,
+		t1.BlocksPerPlane, t1.PagesPerBlock, t1.PageBytes, t1.GCThreshold, t1.OverProvision)
+	// Each dimension near 2^31: the products wrap int64 without the guard.
+	f.Add(1<<31, 1<<31, 1<<31, 1<<31, 1<<31, 1<<31, 1<<20, 0.1, 0.25)
+	// Over-provisioning so high the device exports zero logical pages.
+	f.Add(1, 1, 1, 1, 2, 1, 512, 0.1, 0.9999999)
+	f.Add(0, -1, 1, 1, 64, 64, 8192, 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, channels, chips, dies, planes, blocks, pages, pageBytes int, gc, op float64) {
+		c := Table1()
+		c.Channels, c.ChipsPerChan, c.DiesPerChip, c.PlanesPerDie = channels, chips, dies, planes
+		c.BlocksPerPlane, c.PagesPerBlock, c.PageBytes = blocks, pages, pageBytes
+		c.GCThreshold, c.OverProvision = gc, op
+		if err := c.Validate(); err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if c.PagesTotal() <= 0 {
+			t.Fatalf("valid config with non-positive PagesTotal %d: %+v", c.PagesTotal(), c)
+		}
+		if c.PhysBytes() != c.PagesTotal()*int64(c.PageBytes) || c.PhysBytes() <= 0 {
+			t.Fatalf("inconsistent PhysBytes %d for %d pages of %d bytes", c.PhysBytes(), c.PagesTotal(), c.PageBytes)
+		}
+		if int64(c.BlocksTotal()) != int64(c.PlanesTotal())*int64(c.BlocksPerPlane) {
+			t.Fatalf("inconsistent BlocksTotal %d", c.BlocksTotal())
+		}
+		if c.LogicalPages() < 1 || c.LogicalPages() > c.PagesTotal() {
+			t.Fatalf("valid config exports %d logical pages of %d physical", c.LogicalPages(), c.PagesTotal())
+		}
+		if c.LogicalSectors() != c.LogicalPages()*int64(c.SectorsPerPage()) {
+			t.Fatalf("inconsistent LogicalSectors %d", c.LogicalSectors())
+		}
+		if c.BaselineTableBytes() <= 0 || c.DRAMBudget() <= 0 {
+			t.Fatalf("non-positive table sizing: table %d budget %d", c.BaselineTableBytes(), c.DRAMBudget())
+		}
+		_ = c.String()
+	})
+}

@@ -4,9 +4,37 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// maxRequestBytes caps one request's byte span. Real block traces top out in
+// the low megabytes; anything beyond this is trace corruption (and, before
+// the cap existed, a route to int64 overflow in the sector arithmetic).
+const maxRequestBytes int64 = 1 << 30
+
+// byteRangeToSectors converts a byte extent to whole sectors, rounding
+// outwards like a block layer. It rejects the degenerate and overflowing
+// extents fuzzed trace files produce: non-positive sizes, negative offsets,
+// implausibly large requests, and offset+size sums past int64.
+func byteRangeToSectors(offB, sizeB int64) (startSec int64, count int, err error) {
+	if sizeB <= 0 {
+		return 0, 0, fmt.Errorf("non-positive size %d", sizeB)
+	}
+	if offB < 0 {
+		return 0, 0, fmt.Errorf("negative offset %d", offB)
+	}
+	if sizeB > maxRequestBytes {
+		return 0, 0, fmt.Errorf("implausible size %d bytes (cap %d)", sizeB, maxRequestBytes)
+	}
+	if offB > math.MaxInt64-sizeB-511 {
+		return 0, 0, fmt.Errorf("offset %d + size %d overflows the byte address space", offB, sizeB)
+	}
+	startSec = offB / 512
+	endSec := (offB + sizeB + 511) / 512
+	return startSec, int(endSec - startSec), nil
+}
 
 // The SYSTOR '17 LUN collection stores one request per CSV line:
 //
@@ -64,6 +92,9 @@ func (r *Reader) parse(line string) (Request, error) {
 	if err != nil {
 		return Request{}, fmt.Errorf("bad timestamp %q: %v", f[0], err)
 	}
+	if math.IsNaN(ts) || math.IsInf(ts, 0) {
+		return Request{}, fmt.Errorf("non-finite timestamp %q", f[0])
+	}
 	var op Op
 	switch strings.ToUpper(strings.TrimSpace(f[2])) {
 	case "R":
@@ -81,24 +112,19 @@ func (r *Reader) parse(line string) (Request, error) {
 	if err != nil {
 		return Request{}, fmt.Errorf("bad size %q: %v", f[5], err)
 	}
-	if sizeB <= 0 {
-		return Request{}, fmt.Errorf("non-positive size %d", sizeB)
-	}
-	if offB < 0 {
-		return Request{}, fmt.Errorf("negative offset %d", offB)
+	startSec, count, err := byteRangeToSectors(offB, sizeB)
+	if err != nil {
+		return Request{}, err
 	}
 	if !r.started {
 		r.baseTime = ts
 		r.started = true
 	}
-	// Byte addresses round outwards to whole sectors, like a block layer.
-	startSec := offB / 512
-	endSec := (offB + sizeB + 511) / 512
 	return Request{
 		Time:   (ts - r.baseTime) * 1000, // s -> ms, rebased
 		Op:     op,
 		Offset: startSec,
-		Count:  int(endSec - startSec),
+		Count:  count,
 	}, nil
 }
 

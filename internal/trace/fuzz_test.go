@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// checkParsed asserts the invariants every successfully parsed request must
+// satisfy, whatever bytes the fuzzer fed in: a recognised op, non-negative
+// sector offset, positive bounded sector count, and a finite timestamp.
+func checkParsed(t *testing.T, reqs []Request) {
+	t.Helper()
+	for i, r := range reqs {
+		if r.Op != OpRead && r.Op != OpWrite {
+			t.Errorf("request %d: unknown op %d", i, r.Op)
+		}
+		if r.Offset < 0 {
+			t.Errorf("request %d: negative offset %d", i, r.Offset)
+		}
+		if r.Count <= 0 {
+			t.Errorf("request %d: non-positive count %d", i, r.Count)
+		}
+		if int64(r.Count)*512 > maxRequestBytes+512 {
+			t.Errorf("request %d: count %d sectors exceeds the request cap", i, r.Count)
+		}
+		if math.IsNaN(r.Time) || math.IsInf(r.Time, 0) {
+			t.Errorf("request %d: non-finite time %v", i, r.Time)
+		}
+	}
+}
+
+// FuzzSystorReader feeds arbitrary text to the SYSTOR '17 parser: it must
+// never panic, and everything it accepts must be a well-formed request.
+func FuzzSystorReader(f *testing.F) {
+	for _, seed := range []string{
+		"0.0,0.0,W,0,0,4096\n",
+		"1.5,0.0,R,1,8192,512\n0.0,0.0,W,0,0,1024\n",
+		"# comment\n\n2.0,0.1,w,3,1048576,65536\n",
+		"0.0,0.0,W,0,0,4096\r\n1.0,0.0,R,0,4096,4096\r\n",
+		"garbage\n",
+		"0.0,0.0,W,0,9223372036854775000,4096\n",
+		"NaN,0.0,W,0,0,4096\n",
+		"0.0,0.0,W,0,0,-1\n",
+		"0.0,0.0,X,0,0,4096\n",
+		",,,,,\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		reqs, err := ReadAll(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: the parser's prerogative
+		}
+		checkParsed(t, reqs)
+	})
+}
+
+// FuzzMSRReader does the same for the MSR Cambridge parser.
+func FuzzMSRReader(f *testing.F) {
+	for _, seed := range []string{
+		"128166372003061629,hm,0,Read,0,4096,1000\n",
+		"128166372003061629,hm,0,Write,8192,512,1000\n128166372013061629,hm,0,Read,0,1024,1000\n",
+		"# comment\n128166372003061629,srv,1,write,1048576,65536,0\n",
+		"128166372003061629,hm,0,Read,0,4096,1000\r\n",
+		"garbage,with,seven,fields,in,this,line\n",
+		"1,h,0,Write,9223372036854775000,4096,0\n",
+		"1,h,0,Write,0,-4096,0\n",
+		"1,h,0,Flush,0,4096,0\n",
+		",,,,,,\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		reqs, err := ReadAllMSR(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkParsed(t, reqs)
+	})
+}
+
+// TestParserRejectsOverflowingExtents pins the regression the fuzzer first
+// surfaced: offsets near MaxInt64 used to wrap to a negative sector count
+// instead of producing an error.
+func TestParserRejectsOverflowingExtents(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"systor-offset-overflow", "0.0,0.0,W,0,9223372036854775000,4096"},
+		{"systor-huge-size", "0.0,0.0,W,0,0,9223372036854775000"},
+		{"systor-nan-timestamp", "NaN,0.0,W,0,0,4096"},
+		{"systor-inf-timestamp", "+Inf,0.0,W,0,0,4096"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadAll(strings.NewReader(tc.line + "\n")); err == nil {
+				t.Fatalf("accepted %q", tc.line)
+			}
+		})
+	}
+	msr := []struct{ name, line string }{
+		{"msr-offset-overflow", "1,h,0,Write,9223372036854775000,4096,0"},
+		{"msr-huge-size", "1,h,0,Write,0,9223372036854775000,0"},
+	}
+	for _, tc := range msr {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadAllMSR(strings.NewReader(tc.line + "\n")); err == nil {
+				t.Fatalf("accepted %q", tc.line)
+			}
+		})
+	}
+}
+
+// TestParserAcceptsCRLF: traces saved on Windows parse identically to their
+// LF forms.
+func TestParserAcceptsCRLF(t *testing.T) {
+	lf, err := ReadAll(strings.NewReader("0.0,0.0,W,0,0,4096\n1.0,0.0,R,0,4096,4096\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crlf, err := ReadAll(strings.NewReader("0.0,0.0,W,0,0,4096\r\n1.0,0.0,R,0,4096,4096\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf) != len(crlf) {
+		t.Fatalf("LF parsed %d requests, CRLF %d", len(lf), len(crlf))
+	}
+	for i := range lf {
+		if lf[i] != crlf[i] {
+			t.Errorf("request %d: LF %+v vs CRLF %+v", i, lf[i], crlf[i])
+		}
+	}
+}

@@ -84,24 +84,20 @@ func (r *MSRReader) parse(line string) (Request, error) {
 	if err != nil {
 		return Request{}, fmt.Errorf("bad size %q: %v", f[5], err)
 	}
-	if sizeB <= 0 {
-		return Request{}, fmt.Errorf("non-positive size %d", sizeB)
-	}
-	if offB < 0 {
-		return Request{}, fmt.Errorf("negative offset %d", offB)
+	startSec, count, err := byteRangeToSectors(offB, sizeB)
+	if err != nil {
+		return Request{}, err
 	}
 	t := float64(ticks) * windowsTick
 	if !r.started {
 		r.baseTime = t
 		r.started = true
 	}
-	startSec := offB / 512
-	endSec := (offB + sizeB + 511) / 512
 	return Request{
 		Time:   t - r.baseTime,
 		Op:     op,
 		Offset: startSec,
-		Count:  int(endSec - startSec),
+		Count:  count,
 	}, nil
 }
 

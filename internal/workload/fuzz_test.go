@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"across/internal/trace"
+)
+
+// FuzzProfileGenerate drives the trace generator with arbitrary profile
+// parameters and device sizes. Construction must never panic; every trace a
+// valid profile generates must contain exactly the requested number of
+// well-formed requests, all inside the device's logical space, with finite
+// non-decreasing arrival times.
+func FuzzProfileGenerate(f *testing.F) {
+	f.Add(2000, 0.6, 9.0, 0.25, 0.65, 0.2, 0.75, 350.0, int64(7), int64(1<<20))
+	// Minimal device with extreme-but-legal ratios: the zone margins vanish.
+	f.Add(50, 1.0, 0.5, 0.9, 1.0, 1.0, 1.0, 1e9, int64(-1), int64(16*RefSPP))
+	// Non-finite parameters must be rejected by Validate, not generated.
+	f.Add(10, math.NaN(), 9.0, 0.25, 0.65, 0.2, 0.75, 350.0, int64(1), int64(4096))
+	f.Add(10, 0.6, math.Inf(1), 0.25, 0.65, 0.2, 0.75, 350.0, int64(1), int64(4096))
+	f.Add(10, 0.6, 9.0, 0.25, 0.65, 0.2, 0.75, 350.0, int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, requests int, writeR, writeKB, acrossR, foot, hotFrac, hotProb, iops float64, seed, logicalSectors int64) {
+		// Bound the work per iteration, not the parameter space: huge request
+		// counts only slow the fuzzer down without covering new behaviour.
+		requests = requests % 509
+		if requests < 0 {
+			requests = -requests
+		}
+		if logicalSectors < 0 {
+			logicalSectors = -logicalSectors
+		}
+		logicalSectors %= 1 << 22
+		p := Profile{
+			Name:          "fuzz",
+			Requests:      requests,
+			WriteRatio:    writeR,
+			AvgWriteKB:    writeKB,
+			AcrossRatio:   acrossR,
+			FootprintFrac: foot,
+			HotFrac:       hotFrac,
+			HotProb:       hotProb,
+			MeanIOPS:      iops,
+			Seed:          seed,
+		}
+		reqs, err := Generate(p, logicalSectors)
+		if err != nil {
+			return // rejected profile or device: fine, as long as no panic
+		}
+		if len(reqs) != requests {
+			t.Fatalf("generated %d requests, profile asked for %d", len(reqs), requests)
+		}
+		prev := math.Inf(-1)
+		for i, r := range reqs {
+			if r.Op != trace.OpRead && r.Op != trace.OpWrite {
+				t.Errorf("request %d: unknown op %d", i, r.Op)
+			}
+			if r.Offset < 0 || r.Count <= 0 {
+				t.Errorf("request %d: degenerate extent off=%d count=%d", i, r.Offset, r.Count)
+			}
+			if r.Offset+int64(r.Count) > logicalSectors {
+				t.Errorf("request %d: [%d,%d) exceeds the %d-sector device",
+					i, r.Offset, r.Offset+int64(r.Count), logicalSectors)
+			}
+			if math.IsNaN(r.Time) || math.IsInf(r.Time, 0) || r.Time < prev {
+				t.Errorf("request %d: arrival time %v after %v", i, r.Time, prev)
+			}
+			prev = r.Time
+		}
+	})
+}

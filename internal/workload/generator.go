@@ -369,6 +369,17 @@ func (g *Generator) Next() (trace.Request, bool) {
 		// extent (see containedOverlapProb).
 		off, count = g.containedRequest(op)
 	}
+	// Near-minimal devices leave zones too small for the margins the pickers
+	// assume, so clip the request to the footprint instead of addressing past
+	// the end of the logical space (on realistic geometries this never
+	// triggers).
+	if off+int64(count) > g.footprint {
+		if int64(count) >= g.footprint {
+			off, count = 0, int(g.footprint)
+		} else {
+			off = g.footprint - int64(count)
+		}
+	}
 	return trace.Request{Time: g.now, Op: op, Offset: off, Count: count}, true
 }
 

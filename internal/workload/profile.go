@@ -21,7 +21,10 @@
 // deterministic and their statistics are verified by tests.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // RefSPP is the reference page size (in sectors) the Table 2 statistics are
 // defined against: 8 KB, per the paper's Table 2 caption.
@@ -51,6 +54,16 @@ type Profile struct {
 
 // Validate checks a profile for usable parameters.
 func (p Profile) Validate() error {
+	// Range checks written as "v < lo || v > hi" are both false for NaN, so
+	// non-finite parameters must be rejected up front.
+	for _, v := range [...]float64{
+		p.WriteRatio, p.AvgWriteKB, p.AcrossRatio,
+		p.FootprintFrac, p.HotFrac, p.HotProb, p.MeanIOPS,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("workload %q: non-finite parameter", p.Name)
+		}
+	}
 	switch {
 	case p.Requests <= 0:
 		return fmt.Errorf("workload %q: Requests must be positive", p.Name)
