@@ -153,10 +153,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Close every artifact writer even if one fails: a failed close means a
+	// truncated -trace-out/-metrics-out file, so report each and exit nonzero.
+	closeFailed := false
 	for _, c := range closers {
 		if err := c.Close(); err != nil {
-			fatal(err)
+			fmt.Fprintln(os.Stderr, "acrosssim:", err)
+			closeFailed = true
 		}
+	}
+	if closeFailed {
+		os.Exit(1)
 	}
 	if smp != nil && smp.Err() != nil {
 		fatal(smp.Err())

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenReport is the JSON document produced by -loadgen: end-to-end job
+// throughput and latency as seen by closed-loop clients of a running
+// acrossd daemon.
+type LoadgenReport struct {
+	Addr    string `json:"addr"`
+	Clients int    `json:"clients"`
+	Jobs    int    `json:"jobs"`
+
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	MaxInFlight   int     `json:"max_in_flight"`
+
+	Errors []string `json:"errors,omitempty"`
+}
+
+// loadgenJob is one client's end-to-end observation.
+type loadgenJob struct {
+	ok      bool
+	latency time.Duration
+	err     string
+}
+
+// waitHealthy polls the daemon's /healthz until it answers or the deadline
+// passes.
+func waitHealthy(client *http.Client, addr string, deadline time.Duration) error {
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(stop) {
+			if err != nil {
+				return fmt.Errorf("daemon at %s not healthy after %v: %w", addr, deadline, err)
+			}
+			return fmt.Errorf("daemon at %s not healthy after %v", addr, deadline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// runOneJob drives a single job through its full client-visible lifecycle:
+// submit, poll to a terminal state, fetch the result. The returned latency
+// spans the whole round trip, which is what a sweep script experiences.
+func runOneJob(client *http.Client, addr, spec string) loadgenJob {
+	start := time.Now()
+	fail := func(format string, args ...any) loadgenJob {
+		return loadgenJob{latency: time.Since(start), err: fmt.Sprintf(format, args...)}
+	}
+
+	resp, err := client.Post(addr+"/api/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return fail("submit: %v", err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return fail("submit decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fail("submit: HTTP %d: %s", resp.StatusCode, st.Error)
+	}
+
+	for st.State != "succeeded" {
+		switch st.State {
+		case "failed", "cancelled":
+			return fail("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := client.Get(addr + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			return fail("poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fail("poll decode: %v", err)
+		}
+	}
+
+	resp, err = client.Get(addr + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return fail("result: %v", err)
+	}
+	var doc struct {
+		Result json.RawMessage `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(doc.Result) == 0 {
+		return fail("result: HTTP %d err=%v", resp.StatusCode, err)
+	}
+	return loadgenJob{ok: true, latency: time.Since(start)}
+}
+
+// runLoadgen points `clients` closed-loop clients at a running acrossd and
+// pushes `jobsN` distinct replay jobs through them (each spec varies the
+// workload seed, so deduplication cannot collapse the load). It reports
+// end-to-end throughput and latency percentiles as JSON on stdout.
+func runLoadgen(addr string, clients, jobsN int, scale float64, outPath string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(client, addr, 15*time.Second); err != nil {
+		return err
+	}
+
+	work := make(chan int)
+	results := make(chan loadgenJob, jobsN)
+	var inFlight, maxInFlight atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				cur := inFlight.Add(1)
+				for {
+					prev := maxInFlight.Load()
+					if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				spec := fmt.Sprintf(
+					`{"type":"replay","scheme":"Across-FTL","profile":"lun1","scale":%g,"seed":%d}`,
+					scale, 10_000+i)
+				results <- runOneJob(client, addr, spec)
+				inFlight.Add(-1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := 0; i < jobsN; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(results)
+
+	rep := LoadgenReport{
+		Addr:        addr,
+		Clients:     clients,
+		Jobs:        jobsN,
+		ElapsedSec:  elapsed.Seconds(),
+		MaxInFlight: int(maxInFlight.Load()),
+	}
+	var lats []float64
+	for r := range results {
+		if r.ok {
+			rep.Succeeded++
+			lats = append(lats, float64(r.latency)/float64(time.Millisecond))
+		} else {
+			rep.Failed++
+			if len(rep.Errors) < 10 {
+				rep.Errors = append(rep.Errors, r.err)
+			}
+		}
+	}
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(rep.Succeeded) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		rep.LatencyMeanMs = sum / float64(len(lats))
+		rep.LatencyP50Ms = quantile(lats, 0.50)
+		rep.LatencyP99Ms = quantile(lats, 0.99)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if outPath != "" {
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", rep.Failed, jobsN)
+	}
+	return nil
+}
+
+// quantile reads the q-quantile from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

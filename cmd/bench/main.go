@@ -10,10 +10,18 @@
 // The benchmark device and workload mirror BenchmarkReplayThroughput in the
 // repository's bench suite: Table 1 flash timing on a 4-chip 256 MiB array,
 // replaying the lun1 profile at 0.4% scale against an aged device.
+//
+// With -loadgen the command instead acts as a closed-loop load generator
+// against a running acrossd daemon: N concurrent clients each submit a
+// distinct replay job, poll it to completion and fetch its result, and the
+// report captures end-to-end job throughput and latency percentiles:
+//
+//	bench -loadgen -addr http://127.0.0.1:8377 -clients 100 -jobs 200
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -137,45 +145,49 @@ func replayResult(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request
 // instrumentedReplay runs one untimed, fully observed replay of a scheme —
 // the benchmark artifact then ships with an inspectable execution trace and
 // metrics series from the same workload.
-func instrumentedReplay(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request, traceOut, metricsOut string, intervalMs float64) error {
-	r, err := sim.NewRunner(kind, conf)
-	if err != nil {
-		return err
+func instrumentedReplay(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request, traceOut, metricsOut string, intervalMs float64) (err error) {
+	r, rerr := sim.NewRunner(kind, conf)
+	if rerr != nil {
+		return rerr
 	}
-	if err := r.Age(sim.DefaultAging()); err != nil {
-		return err
+	if aerr := r.Age(sim.DefaultAging()); aerr != nil {
+		return aerr
 	}
+	// Every opened writer is closed exactly once on every path, and a failed
+	// close (lost buffered output) surfaces even when the replay succeeded.
 	var closers []interface{ Close() error }
+	defer func() {
+		var cerrs []error
+		for _, c := range closers {
+			if cerr := c.Close(); cerr != nil {
+				cerrs = append(cerrs, cerr)
+			}
+		}
+		err = errors.Join(append([]error{err}, cerrs...)...)
+	}()
 	if traceOut != "" {
-		trc, c, err := obs.OpenTrace(traceOut, conf.Chips())
-		if err != nil {
-			return err
+		trc, c, oerr := obs.OpenTrace(traceOut, conf.Chips())
+		if oerr != nil {
+			return oerr
 		}
 		r.SetTracer(trc)
 		closers = append(closers, c)
 	}
 	if metricsOut != "" {
-		smp, err := obs.NewSampler(intervalMs)
-		if err != nil {
-			return err
+		smp, serr := obs.NewSampler(intervalMs)
+		if serr != nil {
+			return serr
 		}
-		sink, c, err := obs.OpenMetrics(metricsOut)
-		if err != nil {
-			return err
+		sink, c, oerr := obs.OpenMetrics(metricsOut)
+		if oerr != nil {
+			return oerr
 		}
 		smp.SetSink(sink)
 		r.SetSampler(smp)
 		closers = append(closers, c)
 	}
-	if _, err := r.Replay(reqs); err != nil {
-		return err
-	}
-	for _, c := range closers {
-		if err := c.Close(); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err = r.Replay(reqs)
+	return err
 }
 
 func main() {
@@ -184,7 +196,19 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "also run one instrumented replay writing metrics JSONL here")
 	metricsInt := flag.Float64("metrics-interval-ms", 50, "sampling interval for -metrics-out in simulated ms")
 	obsScheme := flag.String("obs-scheme", "Across-FTL", "scheme for the instrumented replay (with -trace-out / -metrics-out)")
+	loadgen := flag.Bool("loadgen", false, "closed-loop load-generator mode against a running acrossd daemon")
+	addr := flag.String("addr", "http://127.0.0.1:8377", "acrossd base URL (with -loadgen)")
+	clients := flag.Int("clients", 100, "concurrent closed-loop clients (with -loadgen)")
+	jobsN := flag.Int("jobs", 200, "total distinct jobs to push (with -loadgen)")
+	loadScale := flag.Float64("loadgen-scale", 0.001, "per-job workload scale (with -loadgen)")
 	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*addr, *clients, *jobsN, *loadScale, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	conf := benchSSD()
 	reqs, err := benchTrace(conf)

@@ -76,12 +76,13 @@ func main() {
 	cfg.MetricsIntervalMs = *metricsInt
 
 	var w io.Writer = os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
@@ -107,9 +108,19 @@ func main() {
 		}
 	}
 	if err != nil {
+		if outFile != nil {
+			outFile.Close()
+		}
 		fatal(err)
 	}
 	fmt.Fprintf(w, "completed in %s\n", time.Since(start).Round(time.Millisecond))
+	// A failed close means the -out report is truncated on disk even though
+	// stdout looked complete; that must not exit 0.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(fmt.Errorf("writing -out %s: %w", *out, err))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -1,12 +1,18 @@
 package across_test
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // runCmd go-runs one of the repository's commands from the module root and
@@ -59,5 +65,131 @@ func TestTracegenRoundTrip(t *testing.T) {
 	out := runCmd(t, "./cmd/acrosssim", "-trace", path, "-scheme", "FTL", "-check")
 	if !strings.Contains(out, "verify : clean") {
 		t.Errorf("replay of generated trace not verified clean:\n%s", out)
+	}
+}
+
+// TestAcrossdSmoke exercises the daemon as a process: build it, start it on
+// an ephemeral port, submit a replay job over HTTP, poll it to completion,
+// fetch the result, then SIGTERM and require a clean, graceful exit.
+func TestAcrossdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the daemon")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "acrossd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/acrossd").CombinedOutput(); err != nil {
+		t.Fatalf("building acrossd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", filepath.Join(dir, "results"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The readiness line carries the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no readiness line: %v", sc.Err())
+	}
+	ready := sc.Text()
+	fields := strings.Fields(ready)
+	if len(fields) < 4 || !strings.Contains(ready, "listening on") {
+		t.Fatalf("unexpected readiness line %q", ready)
+	}
+	base := "http://" + fields[3]
+	// Keep draining stdout so the daemon never blocks on a full pipe, and
+	// collect it for the shutdown assertions.
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		rest <- b.String()
+	}()
+
+	spec := `{"type":"replay","scheme":"Across-FTL","profile":"lun1","scale":0.001}`
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: code=%d err=%v status=%+v", resp.StatusCode, err, st)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "succeeded" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := http.Get(base + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job finished %s", st.State)
+		}
+	}
+
+	resp, err = http.Get(base + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		Result struct {
+			Requests int64 `json:"requests"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || resp.StatusCode != http.StatusOK || doc.Result.Requests == 0 {
+		t.Fatalf("result: code=%d err=%v body=%s", resp.StatusCode, err, body)
+	}
+
+	// Identical respec is answered from memory or store, not re-run.
+	resp, err = http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Read stdout to EOF before Wait (which closes the pipe), so the
+	// shutdown lines are not discarded.
+	var tail string
+	select {
+	case tail = <-rest:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly: %v", err)
+	}
+	if !strings.Contains(tail, "drained") {
+		t.Errorf("shutdown output missing drain message:\n%s", tail)
 	}
 }

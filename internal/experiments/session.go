@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -86,6 +87,11 @@ type traceEntry struct {
 type Session struct {
 	Cfg Config
 
+	// ctx, when set, cancels in-flight replays: the worker pool stops
+	// picking up new runs and the simulator aborts mid-replay. Defaults to
+	// context.Background() (never cancelled).
+	ctx context.Context
+
 	mu      sync.Mutex
 	traces  map[string]*traceEntry
 	results map[runKey]*sim.Result
@@ -104,9 +110,21 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	return &Session{
 		Cfg:     cfg,
+		ctx:     context.Background(),
 		traces:  make(map[string]*traceEntry),
 		results: make(map[runKey]*sim.Result),
 	}, nil
+}
+
+// WithContext attaches a cancellation context to the session and returns it.
+// A daemon running a whole-session experiment job uses this so cancelling
+// the job stops every replay the session has in flight.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	return s
 }
 
 // Luns returns the scaled (and seed-offset) Table 2 profiles.
@@ -177,6 +195,11 @@ func (s *Session) Results(pageBytes int, luns []string, kinds []sim.SchemeKind) 
 			go func() {
 				defer wg.Done()
 				for k := range jobs {
+					if err := s.ctx.Err(); err != nil {
+						errs <- fmt.Errorf("experiments: %s on %s @%dB pages: %w",
+							k.kind, k.lun, k.pageBytes, err)
+						continue
+					}
 					res, err := s.run(k)
 					if err != nil {
 						errs <- fmt.Errorf("experiments: %s on %s @%dB pages: %w",
@@ -234,7 +257,16 @@ func (s *Session) run(k runKey) (*sim.Result, error) {
 		return nil, err
 	}
 	conf := s.Cfg.SSD.WithPageBytes(k.pageBytes)
-	return sim.Run(k.kind, conf, reqs, s.Cfg.Age)
+	r, err := sim.NewRunner(k.kind, conf)
+	if err != nil {
+		return nil, err
+	}
+	if s.Cfg.Age {
+		if err := r.AgeCtx(s.ctx, sim.DefaultAging()); err != nil {
+			return nil, err
+		}
+	}
+	return r.ReplayCtx(s.ctx, reqs)
 }
 
 // lunNames lists the profile names in Table 2 order.

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"sync"
+
+	"across/internal/obs"
+)
+
+// progressHub fans one job's sampled metrics out to any number of HTTP
+// progress streams. It implements obs.MetricsSink, so it plugs straight
+// into the replay's Sampler: the simulator pushes samples as simulated time
+// advances, subscribers receive the full history then live updates, and
+// closing the hub (job finished) ends every stream.
+type progressHub struct {
+	mu      sync.Mutex
+	samples []obs.Sample
+	subs    map[chan obs.Sample]struct{}
+	closed  bool
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{subs: make(map[chan obs.Sample]struct{})}
+}
+
+// WriteSample implements obs.MetricsSink. A slow subscriber never blocks
+// the simulator: its channel send is dropped when full (the subscriber
+// still has the retained history for catch-up).
+func (h *progressHub) WriteSample(s *obs.Sample) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.samples = append(h.samples, *s)
+	for ch := range h.subs {
+		select {
+		case ch <- *s:
+		default:
+		}
+	}
+	return nil
+}
+
+// Subscribe returns the history so far plus a channel of future samples.
+// The channel is closed when the hub closes; cancel detaches early.
+func (h *progressHub) Subscribe() (history []obs.Sample, ch <-chan obs.Sample, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	history = append([]obs.Sample(nil), h.samples...)
+	c := make(chan obs.Sample, 256)
+	if h.closed {
+		close(c)
+		return history, c, func() {}
+	}
+	h.subs[c] = struct{}{}
+	return history, c, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[c]; ok {
+			delete(h.subs, c)
+			close(c)
+		}
+	}
+}
+
+// Samples returns a copy of the retained series.
+func (h *progressHub) Samples() []obs.Sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]obs.Sample(nil), h.samples...)
+}
+
+// Close ends every subscription; further WriteSamples are dropped.
+func (h *progressHub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,598 @@
+// Package service exposes the simulator as a long-running HTTP service:
+// submit replay and experiment jobs, poll their status, stream per-job
+// progress as NDJSON, fetch results and artifacts, scrape service metrics.
+// It composes the three layers the acrossd daemon is built from:
+//
+//   - internal/jobs: a bounded worker pool with priority FIFO queueing,
+//     per-job timeouts, transient-failure retry, and graceful drain;
+//   - internal/store: a content-addressed on-disk result store, so a job
+//     submitted twice runs once and completed results survive restarts;
+//   - internal/obs: the Sampler feeds each replay's progress stream and the
+//     Registry backs /metrics.
+//
+// API (all JSON):
+//
+//	POST   /api/v1/jobs                       submit {"type":"replay",...} or {"type":"experiment",...}
+//	GET    /api/v1/jobs                       list jobs
+//	GET    /api/v1/jobs/{id}                  job status
+//	POST   /api/v1/jobs/{id}/cancel           cancel (also DELETE /api/v1/jobs/{id})
+//	GET    /api/v1/jobs/{id}/result           result document (once succeeded)
+//	GET    /api/v1/jobs/{id}/progress         NDJSON stream of metric samples (live + history)
+//	GET    /api/v1/jobs/{id}/artifacts/metrics stored sample series (NDJSON)
+//	GET    /api/v1/store                      stored result keys
+//	GET    /metrics                           service counters + scheduler stats
+//	GET    /healthz                           liveness + occupancy
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"across/internal/jobs"
+	"across/internal/obs"
+	"across/internal/store"
+)
+
+// Config sizes the service.
+type Config struct {
+	// StoreDir roots the content-addressed result store.
+	StoreDir string
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds queued jobs (default 1024).
+	QueueCap int
+	// DefaultTimeout bounds each job unless its spec overrides (0 = none).
+	DefaultTimeout time.Duration
+	// Retries and Backoff configure transient-failure retry (store writes).
+	Retries int
+	Backoff time.Duration
+	// SampleIntervalMs is the progress-sampling interval in simulated ms
+	// (default 50).
+	SampleIntervalMs float64
+}
+
+// jobRecord is the service-level view of one submission.
+type jobRecord struct {
+	id   string
+	key  string
+	kind string
+	spec json.RawMessage
+
+	job    *jobs.Job    // nil for cache-served records
+	cached bool         // served from the store without running
+	hub    *progressHub // nil for experiment jobs
+
+	submitted time.Time
+}
+
+// Server is the HTTP simulation service.
+type Server struct {
+	cfg   Config
+	sched *jobs.Scheduler
+	store *store.Store
+
+	regMu sync.Mutex // obs.Registry is not goroutine-safe
+	reg   *obs.Registry
+
+	mu      sync.Mutex
+	records map[string]*jobRecord
+	byKey   map[string]*jobRecord
+	order   []string
+	nextID  uint64
+}
+
+// New builds a Server (opening or creating its store) and starts its worker
+// pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.SampleIntervalMs <= 0 {
+		cfg.SampleIntervalMs = 50
+	}
+	st, err := store.Open(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg,
+		sched: jobs.New(jobs.Options{
+			Workers:        cfg.Workers,
+			QueueCap:       cfg.QueueCap,
+			DefaultTimeout: cfg.DefaultTimeout,
+			Retries:        cfg.Retries,
+			Backoff:        cfg.Backoff,
+		}),
+		store:   st,
+		reg:     obs.NewRegistry(),
+		records: make(map[string]*jobRecord),
+		byKey:   make(map[string]*jobRecord),
+	}
+	// Pre-register so /metrics always shows every series, zeroed.
+	for _, name := range []string{
+		"jobs_submitted", "jobs_deduped", "jobs_cached",
+		"jobs_succeeded", "jobs_failed", "jobs_cancelled",
+	} {
+		s.counter(name, 0)
+	}
+	return s, nil
+}
+
+// Store returns the server's result store.
+func (s *Server) Store() *store.Store { return s.store }
+
+// Drain stops accepting jobs and waits (bounded by ctx) for outstanding
+// ones to finish.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.sched.Drain(ctx)
+}
+
+// Close cancels outstanding jobs and stops the pool.
+func (s *Server) Close() { s.sched.Close() }
+
+func (s *Server) counter(name string, delta int64) {
+	s.regMu.Lock()
+	s.reg.Counter(name).Add(delta)
+	s.regMu.Unlock()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/metrics", s.handleMetricsArtifact)
+	mux.HandleFunc("GET /api/v1/store", s.handleStoreKeys)
+	return mux
+}
+
+// jobStatus is the wire representation of a job.
+type jobStatus struct {
+	ID      string `json:"id"`
+	Key     string `json:"key"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached"`
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	Attempts    int     `json:"attempts,omitempty"`
+	SubmittedAt string  `json:"submitted_at,omitempty"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	DurationMs  float64 `json:"duration_ms,omitempty"`
+
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+func (s *Server) status(rec *jobRecord, deduped bool) jobStatus {
+	st := jobStatus{
+		ID:          rec.id,
+		Key:         rec.key,
+		Kind:        rec.kind,
+		Cached:      rec.cached,
+		Deduped:     deduped,
+		Spec:        rec.spec,
+		SubmittedAt: rec.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if rec.cached {
+		st.State = string(jobs.StateSucceeded)
+		return st
+	}
+	j := rec.job
+	st.State = string(j.State())
+	st.Attempts = j.Attempts()
+	if _, err := j.Result(); err != nil {
+		st.Error = err.Error()
+	}
+	_, started, finished := j.Times()
+	if !started.IsZero() {
+		st.StartedAt = started.UTC().Format(time.RFC3339Nano)
+	}
+	if !finished.IsZero() {
+		st.FinishedAt = finished.UTC().Format(time.RFC3339Nano)
+		if !started.IsZero() {
+			st.DurationMs = float64(finished.Sub(started)) / float64(time.Millisecond)
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a replay or experiment spec, deduplicates against
+// live jobs and the store, and queues a new job when neither hits.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(body, &head); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing spec: %v", err)
+		return
+	}
+
+	var (
+		key       string
+		kind      string
+		priority  int
+		timeoutMs int64
+		run       func(ctx context.Context, key string, hub *progressHub) (*Entry, error)
+		hub       *progressHub
+	)
+	switch head.Type {
+	case "replay":
+		var sp ReplaySpec
+		if err := strictUnmarshal(body, &sp); err != nil {
+			writeError(w, http.StatusBadRequest, "parsing replay spec: %v", err)
+			return
+		}
+		sp.normalise()
+		if err := sp.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid replay spec: %v", err)
+			return
+		}
+		if key, err = sp.Key(); err != nil {
+			writeError(w, http.StatusInternalServerError, "keying spec: %v", err)
+			return
+		}
+		kind, priority, timeoutMs = "replay", sp.Priority, sp.TimeoutMs
+		hub = newProgressHub()
+		run = func(ctx context.Context, key string, hub *progressHub) (*Entry, error) {
+			return s.runReplay(ctx, key, sp, hub)
+		}
+	case "experiment":
+		var sp ExperimentSpec
+		if err := strictUnmarshal(body, &sp); err != nil {
+			writeError(w, http.StatusBadRequest, "parsing experiment spec: %v", err)
+			return
+		}
+		if err := sp.validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid experiment spec: %v", err)
+			return
+		}
+		if key, err = sp.Key(); err != nil {
+			writeError(w, http.StatusInternalServerError, "keying spec: %v", err)
+			return
+		}
+		kind, priority, timeoutMs = "experiment", sp.Priority, sp.TimeoutMs
+		run = func(ctx context.Context, key string, _ *progressHub) (*Entry, error) {
+			return s.runExperiment(ctx, key, sp)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown job type %q (want replay or experiment)", head.Type)
+		return
+	}
+
+	s.mu.Lock()
+	// Dedup against a live (or completed-in-memory) record first.
+	if prev, ok := s.byKey[key]; ok {
+		state := jobs.StateSucceeded
+		if prev.job != nil {
+			state = prev.job.State()
+		}
+		if state != jobs.StateFailed && state != jobs.StateCancelled {
+			st := s.status(prev, true)
+			s.mu.Unlock()
+			s.counter("jobs_deduped", 1)
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	// Then against the store: identical work already completed — possibly
+	// by a previous daemon process — is served without running.
+	if s.store.Has(key) {
+		rec := s.newRecordLocked(key, kind, body, nil, nil)
+		rec.cached = true
+		st := s.status(rec, false)
+		s.mu.Unlock()
+		s.counter("jobs_cached", 1)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+
+	job, deduped, err := s.sched.Submit(jobs.SubmitOpts{
+		Key:      key,
+		Priority: priority,
+		Timeout:  time.Duration(timeoutMs) * time.Millisecond,
+	}, func(ctx context.Context) (any, error) {
+		return run(ctx, key, hub)
+	})
+	if err != nil {
+		s.mu.Unlock()
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, jobs.ErrQueueFull) {
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	rec := s.newRecordLocked(key, kind, body, job, hub)
+	st := s.status(rec, deduped)
+	s.mu.Unlock()
+
+	s.counter("jobs_submitted", 1)
+	go s.watch(rec)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// strictUnmarshal rejects unknown fields so spec typos fail loudly instead
+// of silently running a default job.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// newRecordLocked registers a record; caller holds s.mu.
+func (s *Server) newRecordLocked(key, kind string, spec []byte, job *jobs.Job, hub *progressHub) *jobRecord {
+	s.nextID++
+	rec := &jobRecord{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		key:       key,
+		kind:      kind,
+		spec:      json.RawMessage(spec),
+		job:       job,
+		hub:       hub,
+		submitted: time.Now(),
+	}
+	s.records[rec.id] = rec
+	s.byKey[key] = rec
+	s.order = append(s.order, rec.id)
+	return rec
+}
+
+// watch finalises a record when its job finishes: counters tick over and
+// the progress hub closes so every stream ends — including jobs cancelled
+// while still queued, whose run function never executed.
+func (s *Server) watch(rec *jobRecord) {
+	<-rec.job.Done()
+	switch rec.job.State() {
+	case jobs.StateSucceeded:
+		s.counter("jobs_succeeded", 1)
+	case jobs.StateFailed:
+		s.counter("jobs_failed", 1)
+	case jobs.StateCancelled:
+		s.counter("jobs_cancelled", 1)
+	}
+	if rec.hub != nil {
+		rec.hub.Close()
+	}
+}
+
+func (s *Server) record(id string) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]jobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.status(s.records[id], false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	st := s.status(rec, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if rec.job == nil {
+		writeError(w, http.StatusConflict, "job %s was served from the store; nothing to cancel", rec.id)
+		return
+	}
+	cancelled := s.sched.Cancel(rec.job.ID)
+	s.mu.Lock()
+	st := s.status(rec, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": st})
+}
+
+// entry loads a record's stored Entry, preferring the in-memory job result
+// (identical content, no disk round trip).
+func (s *Server) entry(rec *jobRecord) (*Entry, error) {
+	if rec.job != nil {
+		if res, err := rec.job.Result(); err == nil && res != nil {
+			if e, ok := res.(*Entry); ok {
+				return e, nil
+			}
+		}
+	}
+	var e Entry
+	ok, err := s.store.Get(rec.key, &e)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &e, nil
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if rec.job != nil {
+		switch st := rec.job.State(); st {
+		case jobs.StateSucceeded:
+		case jobs.StateFailed, jobs.StateCancelled:
+			_, err := rec.job.Result()
+			writeError(w, http.StatusConflict, "job %s %s: %v", rec.id, st, err)
+			return
+		default:
+			writeError(w, http.StatusConflict, "job %s is %s; result not ready", rec.id, st)
+			return
+		}
+	}
+	e, err := s.entry(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading result: %v", err)
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no stored result for job %s", rec.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     rec.id,
+		"key":    rec.key,
+		"kind":   e.Kind,
+		"cached": rec.cached,
+		"result": e.Result,
+	})
+}
+
+// handleProgress streams a job's metric samples as NDJSON: first the
+// retained history, then live samples until the job finishes. For finished
+// (or cache-served) jobs the stored series is replayed and the stream ends.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if rec.hub == nil {
+		// Experiment job or cache-served record: replay the stored series.
+		if e, err := s.entry(rec); err == nil && e != nil {
+			for i := range e.Samples {
+				enc.Encode(&e.Samples[i])
+			}
+		}
+		flush()
+		return
+	}
+	history, live, cancel := rec.hub.Subscribe()
+	defer cancel()
+	for i := range history {
+		enc.Encode(&history[i])
+	}
+	flush()
+	clientGone := r.Context().Done()
+	for {
+		select {
+		case sm, ok := <-live:
+			if !ok {
+				return
+			}
+			enc.Encode(&sm)
+			flush()
+		case <-clientGone:
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetricsArtifact(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	e, err := s.entry(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading artifact: %v", err)
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no stored artifact for job %s", rec.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range e.Samples {
+		enc.Encode(&e.Samples[i])
+	}
+}
+
+func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.store.Keys()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "count": len(keys)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.regMu.Lock()
+	snap := s.reg.Snapshot(nil)
+	s.regMu.Unlock()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]float64, len(snap))
+	for _, n := range names {
+		ordered[n] = snap[n]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":      ordered,
+		"scheduler":     s.sched.Stats(),
+		"store_entries": s.store.Len(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"queued":  st.Queued,
+		"running": st.Running,
+	})
+}

@@ -1,0 +1,507 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"across/internal/jobs"
+	"across/internal/obs"
+)
+
+// newTestServer spins up a Server over dir behind an httptest listener.
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		StoreDir: dir,
+		Workers:  4,
+		QueueCap: 512,
+		Retries:  1,
+		Backoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, jobStatus) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var st jobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("parsing response %q: %v", raw, err)
+	}
+	return resp.StatusCode, st
+}
+
+// pollState polls a job's status until it reaches a terminal state or the
+// deadline passes, returning the final status.
+func pollState(t *testing.T, base, id string, deadline time.Duration) jobStatus {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch jobs.State(st.State) {
+		case jobs.StateSucceeded, jobs.StateFailed, jobs.StateCancelled:
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s still %s after %v", id, st.State, deadline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, base, id string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing result %q: %v", raw, err)
+	}
+	return resp.StatusCode, doc
+}
+
+const tinyReplay = `{"type":"replay","scheme":"Across-FTL","profile":"lun1","scale":0.001,"seed":%d}`
+
+// TestSubmitPollFetch is the end-to-end happy path: submit, poll to
+// completion, fetch the result document, and confirm the digest is sane.
+func TestSubmitPollFetch(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(tinyReplay, 1))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	if st.ID == "" || st.Key == "" || st.Kind != "replay" {
+		t.Fatalf("submit status = %+v", st)
+	}
+	final := pollState(t, ts.URL, st.ID, 30*time.Second)
+	if jobs.State(final.State) != jobs.StateSucceeded {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+	code, doc := fetchResult(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d, want 200", code)
+	}
+	var res ReplayResult
+	if err := json.Unmarshal(doc["result"], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "Across-FTL" || res.Requests == 0 || res.AvgWriteMs <= 0 {
+		t.Fatalf("result digest looks wrong: %+v", res)
+	}
+}
+
+// TestDoubleSubmitRunsOnce submits the identical spec twice: the second
+// submission must be deduplicated (200, not 202) and the simulator must
+// have run exactly once (jobs_submitted stays at 1).
+func TestDoubleSubmitRunsOnce(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	spec := fmt.Sprintf(tinyReplay, 2)
+	code, first := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	code, second := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusOK {
+		t.Fatalf("second submit = %d, want 200", code)
+	}
+	if !second.Deduped && !second.Cached {
+		t.Fatalf("second submit not deduplicated: %+v", second)
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	pollState(t, ts.URL, first.ID, 30*time.Second)
+	// A third submission after completion is served without a new run too.
+	code, third := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusOK || (!third.Deduped && !third.Cached) {
+		t.Fatalf("post-completion submit = %d %+v", code, third)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["jobs_submitted"] != 1 {
+		t.Fatalf("jobs_submitted = %v, want 1 (dedup must not re-run)", m.Counters["jobs_submitted"])
+	}
+	if m.Counters["jobs_deduped"]+m.Counters["jobs_cached"] < 2 {
+		t.Fatalf("deduped+cached = %v, want >= 2", m.Counters["jobs_deduped"]+m.Counters["jobs_cached"])
+	}
+}
+
+// TestCancelMidReplay submits a deliberately long job, waits for it to be
+// running, cancels it, and requires the replay to stop quickly rather than
+// run to completion.
+func TestCancelMidReplay(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	long := `{"type":"replay","scheme":"Across-FTL","profile":"lun1","scale":1.0,"age":true}`
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	// Wait for the worker to pick it up.
+	stop := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur jobStatus
+		json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if jobs.State(cur.State) == jobs.StateRunning {
+			break
+		}
+		if cur.State != string(jobs.StateQueued) {
+			t.Fatalf("job reached %s before cancel", cur.State)
+		}
+		if time.Now().After(stop) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancelled := time.Now()
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := pollState(t, ts.URL, st.ID, 5*time.Second)
+	if jobs.State(final.State) != jobs.StateCancelled {
+		t.Fatalf("job finished %s, want cancelled (error %q)", final.State, final.Error)
+	}
+	if took := time.Since(cancelled); took > 5*time.Second {
+		t.Fatalf("cancel took %v, want prompt mid-replay stop", took)
+	}
+	// The result endpoint must report the cancellation, not a document.
+	code, _ = fetchResult(t, ts.URL, st.ID)
+	if code != http.StatusConflict {
+		t.Fatalf("result after cancel = %d, want 409", code)
+	}
+}
+
+// TestJobTimeout gives a long job a tiny per-job timeout and expects a
+// failed state carrying the deadline error.
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	long := `{"type":"replay","scheme":"FTL","profile":"lun2","scale":1.0,"age":true,"timeout_ms":50}`
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs", long)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	final := pollState(t, ts.URL, st.ID, 15*time.Second)
+	if jobs.State(final.State) != jobs.StateFailed {
+		t.Fatalf("job finished %s, want failed (error %q)", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", final.Error)
+	}
+}
+
+// TestRestartServesFromStore runs a job to completion on one server, then
+// opens a second server over the same store directory: the same spec must
+// be served from disk without running the simulator again.
+func TestRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	spec := fmt.Sprintf(tinyReplay, 3)
+	{
+		_, ts := newTestServer(t, dir)
+		_, st := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+		final := pollState(t, ts.URL, st.ID, 30*time.Second)
+		if jobs.State(final.State) != jobs.StateSucceeded {
+			t.Fatalf("first run finished %s", final.State)
+		}
+	}
+	_, ts2 := newTestServer(t, dir)
+	code, st := postJSON(t, ts2.URL+"/api/v1/jobs", spec)
+	if code != http.StatusOK || !st.Cached {
+		t.Fatalf("after restart: code=%d status=%+v, want 200 cached", code, st)
+	}
+	if jobs.State(st.State) != jobs.StateSucceeded {
+		t.Fatalf("cached job state = %s, want succeeded", st.State)
+	}
+	code, doc := fetchResult(t, ts2.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("cached result = %d, want 200", code)
+	}
+	var res ReplayResult
+	if err := json.Unmarshal(doc["result"], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatalf("cached result digest empty: %+v", res)
+	}
+	// Cancelling a cache-served record is meaningless and must say so.
+	resp, err := http.Post(ts2.URL+"/api/v1/jobs/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel of cached job = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestExperimentJob submits a (cheap) experiment artifact job and checks
+// the rendered output comes back.
+func TestExperimentJob(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs", `{"type":"experiment","id":"table1","scale":0.05,"no_age":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	final := pollState(t, ts.URL, st.ID, 30*time.Second)
+	if jobs.State(final.State) != jobs.StateSucceeded {
+		t.Fatalf("experiment finished %s (error %q)", final.State, final.Error)
+	}
+	code, doc := fetchResult(t, ts.URL, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d, want 200", code)
+	}
+	var res ExperimentResult
+	if err := json.Unmarshal(doc["result"], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table1" || !strings.Contains(res.Output, "Table 1") {
+		t.Fatalf("experiment output looks wrong: id=%q output=%q", res.ID, res.Output)
+	}
+}
+
+// TestProgressStream reads a job's NDJSON progress stream and checks it
+// carries well-formed, time-ordered samples and terminates when the job
+// does.
+func TestProgressStream(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs",
+		`{"type":"replay","scheme":"Across-FTL","profile":"lun3","scale":0.05,"seed":4}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("progress Content-Type = %q", ct)
+	}
+	var n int
+	last := -1.0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sm obs.Sample
+		if err := json.Unmarshal(line, &sm); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if sm.TimeMs < last {
+			t.Fatalf("samples out of order: %v after %v", sm.TimeMs, last)
+		}
+		last = sm.TimeMs
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("progress stream carried no samples")
+	}
+	final := pollState(t, ts.URL, st.ID, 30*time.Second)
+	if jobs.State(final.State) != jobs.StateSucceeded {
+		t.Fatalf("job finished %s", final.State)
+	}
+	// The stored artifact replays the same series for later readers.
+	resp2, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/artifacts/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if lines := bytes.Count(bytes.TrimSpace(stored), []byte("\n")) + 1; lines < 1 || len(bytes.TrimSpace(stored)) == 0 {
+		t.Fatalf("stored metrics artifact empty")
+	}
+}
+
+// TestManyConcurrentJobs floods the service with distinct jobs from many
+// goroutines and requires every one to finish successfully with a stored
+// result — no deadlocks, no lost jobs.
+func TestManyConcurrentJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, ts := newTestServer(t, t.TempDir())
+	const jobsN = 120
+	ids := make([]string, jobsN)
+	var wg sync.WaitGroup
+	errs := make(chan error, jobsN)
+	for i := 0; i < jobsN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, st := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(tinyReplay, 1000+i))
+			if code != http.StatusAccepted {
+				errs <- fmt.Errorf("job %d: submit = %d", i, code)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		final := pollState(t, ts.URL, id, 60*time.Second)
+		if jobs.State(final.State) != jobs.StateSucceeded {
+			t.Fatalf("job %d (%s) finished %s (error %q)", i, id, final.State, final.Error)
+		}
+	}
+	if got := srv.Store().Len(); got != jobsN {
+		t.Fatalf("store holds %d entries, want %d", got, jobsN)
+	}
+}
+
+// TestBadRequests covers the submit-validation surface.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	cases := []struct {
+		name, body string
+	}{
+		{"not json", `{{`},
+		{"unknown type", `{"type":"mystery"}`},
+		{"unknown scheme", `{"type":"replay","scheme":"LISA","profile":"lun1"}`},
+		{"unknown profile", `{"type":"replay","scheme":"FTL","profile":"lun99"}`},
+		{"bad scale", `{"type":"replay","scheme":"FTL","profile":"lun1","scale":7}`},
+		{"unknown field", `{"type":"replay","scheme":"FTL","profile":"lun1","scael":0.1}`},
+		{"unknown experiment", `{"type":"experiment","id":"fig99"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: code = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// Unknown job lookups 404 across the read endpoints.
+	for _, path := range []string{"/api/v1/jobs/nope", "/api/v1/jobs/nope/result", "/api/v1/jobs/nope/progress"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthzAndStoreKeys sanity-checks the liveness and store-listing
+// endpoints.
+func TestHealthzAndStoreKeys(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hz)
+	resp.Body.Close()
+	if err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz: %v %+v", err, hz)
+	}
+
+	_, st := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(tinyReplay, 5))
+	pollState(t, ts.URL, st.ID, 30*time.Second)
+	resp, err = http.Get(ts.URL + "/api/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys struct {
+		Keys  []string `json:"keys"`
+		Count int      `json:"count"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&keys)
+	resp.Body.Close()
+	if err != nil || keys.Count != 1 || len(keys.Keys) != 1 || keys.Keys[0] != st.Key {
+		t.Fatalf("store listing: %v %+v (want key %s)", err, keys, st.Key)
+	}
+}
+
+// TestDrainFinishesOutstanding checks graceful drain: queued work finishes,
+// new submissions are refused with 503.
+func TestDrainFinishesOutstanding(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	_, st := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(tinyReplay, 6))
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	final := pollState(t, ts.URL, st.ID, time.Second)
+	if jobs.State(final.State) != jobs.StateSucceeded {
+		t.Fatalf("drained job finished %s", final.State)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(tinyReplay, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain = %d, want 503", resp.StatusCode)
+	}
+}

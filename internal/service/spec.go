@@ -1,0 +1,318 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"across/internal/experiments"
+	"across/internal/ftl"
+	"across/internal/jobs"
+	"across/internal/obs"
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/store"
+	"across/internal/workload"
+)
+
+// keyVersion is baked into every job key: bump it when the simulator's
+// semantics change enough that cached results should stop being served.
+const keyVersion = 1
+
+// ReplaySpec is the submit-body of a replay job: one trace replayed against
+// one scheme on one device. Priority and TimeoutMs steer scheduling only
+// and are excluded from the content key.
+type ReplaySpec struct {
+	Type    string  `json:"type"` // "replay"
+	Scheme  string  `json:"scheme"`
+	Profile string  `json:"profile"`              // lun1..lun6
+	Scale   float64 `json:"scale,omitempty"`      // fraction of the profile's requests (default 0.05)
+	Seed    int64   `json:"seed,omitempty"`       // workload seed offset
+	Page    int     `json:"page_bytes,omitempty"` // flash page size (default 8192)
+	QD      int     `json:"qd,omitempty"`         // queue-depth bound (0 = open loop)
+	Age     bool    `json:"age,omitempty"`        // §4.1 warm-up before measuring
+	Full    bool    `json:"full,omitempty"`       // full Table 1 geometry (default: scaled)
+
+	Priority  int   `json:"priority,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+func (sp *ReplaySpec) normalise() {
+	if sp.Scale == 0 {
+		sp.Scale = 0.05
+	}
+	if sp.Page == 0 {
+		sp.Page = 8192
+	}
+	if sp.Scheme == "" {
+		sp.Scheme = string(sim.KindAcross)
+	}
+}
+
+func (sp *ReplaySpec) validate() error {
+	switch sim.SchemeKind(sp.Scheme) {
+	case sim.KindFTL, sim.KindMRSM, sim.KindAcross, sim.KindDFTL:
+	default:
+		return fmt.Errorf("unknown scheme %q", sp.Scheme)
+	}
+	if _, err := workload.LunProfile(sp.Profile); err != nil {
+		return err
+	}
+	if sp.Scale <= 0 || sp.Scale > 1 {
+		return fmt.Errorf("scale %v out of (0,1]", sp.Scale)
+	}
+	conf := sp.config()
+	return conf.Validate()
+}
+
+func (sp *ReplaySpec) config() ssdconf.Config {
+	conf := ssdconf.Experiment()
+	if sp.Full {
+		conf = ssdconf.Table1()
+	}
+	return conf.WithPageBytes(sp.Page)
+}
+
+// profile resolves the fully-scaled, seed-offset workload profile — the
+// exact generator input, which is what the content key must capture.
+func (sp *ReplaySpec) profile() (workload.Profile, error) {
+	p, err := workload.LunProfile(sp.Profile)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	p = p.Scale(sp.Scale)
+	p.Seed += sp.Seed
+	return p, nil
+}
+
+// Key is the canonical content address of the work: a hash over the scheme,
+// the full device configuration, the fully-resolved workload profile
+// (request count, ratios, seed), the queue depth and the aging switch.
+// Everything that changes the simulated outcome is in here; anything that
+// only changes scheduling (priority, timeout) is not.
+func (sp *ReplaySpec) Key() (string, error) {
+	prof, err := sp.profile()
+	if err != nil {
+		return "", err
+	}
+	return store.HashJSON(struct {
+		V       int
+		Kind    string
+		Conf    ssdconf.Config
+		Profile workload.Profile
+		QD      int
+		Age     bool
+	}{keyVersion, "replay/" + sp.Scheme, sp.config(), prof, sp.QD, sp.Age})
+}
+
+// ExperimentSpec is the submit-body of an experiment job: one paper
+// artifact (table/figure id) regenerated through an experiments.Session.
+type ExperimentSpec struct {
+	Type   string  `json:"type"` // "experiment"
+	ID     string  `json:"id"`   // table1, fig9, ext-tail, ...
+	Scale  float64 `json:"scale,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	NoAge  bool    `json:"no_age,omitempty"`
+	Format string  `json:"format,omitempty"` // text | markdown | csv
+
+	Priority  int   `json:"priority,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+func (sp *ExperimentSpec) sessionConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	if sp.Scale > 0 {
+		cfg.Scale = sp.Scale
+	}
+	cfg.SeedOffset = sp.Seed
+	cfg.Age = !sp.NoAge
+	if sp.Format != "" {
+		cfg.Format = sp.Format
+	}
+	return cfg
+}
+
+func (sp *ExperimentSpec) validate() error {
+	if _, err := experiments.ByID(sp.ID); err != nil {
+		return err
+	}
+	cfg := sp.sessionConfig()
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return fmt.Errorf("scale %v out of (0,1]", cfg.Scale)
+	}
+	return nil
+}
+
+// Key hashes the artifact id plus every session knob that changes its
+// content.
+func (sp *ExperimentSpec) Key() (string, error) {
+	cfg := sp.sessionConfig()
+	return store.HashJSON(struct {
+		V      int
+		Kind   string
+		Conf   ssdconf.Config
+		Scale  float64
+		Seed   int64
+		Age    bool
+		Format string
+	}{keyVersion, "experiment/" + sp.ID, cfg.SSD, cfg.Scale, cfg.SeedOffset, cfg.Age, cfg.Format})
+}
+
+// ReplayResult is the stored, JSON-serialisable digest of a sim.Result
+// (the Result itself holds struct-keyed maps and histograms that do not
+// marshal).
+type ReplayResult struct {
+	Scheme   string `json:"scheme"`
+	Requests int64  `json:"requests"`
+	Reads    int64  `json:"reads"`
+	Writes   int64  `json:"writes"`
+
+	AvgReadMs  float64 `json:"avg_read_ms"`
+	AvgWriteMs float64 `json:"avg_write_ms"`
+	ReadP50Ms  float64 `json:"read_p50_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	WriteP50Ms float64 `json:"write_p50_ms"`
+	WriteP99Ms float64 `json:"write_p99_ms"`
+	TotalIOMs  float64 `json:"total_io_ms"`
+
+	Counters   ftl.Counters    `json:"counters"`
+	Wear       sim.WearSummary `json:"wear"`
+	TableBytes int64           `json:"table_bytes"`
+	UtilMin    float64         `json:"utilisation_min"`
+	UtilMax    float64         `json:"utilisation_max"`
+
+	TraceSpanMs    float64 `json:"trace_span_ms"`
+	MeasuredSpanMs float64 `json:"measured_span_ms"`
+	WarmupWrites   int64   `json:"warmup_writes"`
+
+	AcrossAreas     int64   `json:"across_areas,omitempty"`
+	AcrossRollbacks float64 `json:"across_rollback_ratio,omitempty"`
+}
+
+func replayResultDoc(res *sim.Result) *ReplayResult {
+	umin, umax := res.UtilisationSpread()
+	doc := &ReplayResult{
+		Scheme:         res.Scheme,
+		Requests:       res.Requests,
+		Reads:          res.ReadCount,
+		Writes:         res.WriteCount,
+		AvgReadMs:      res.AvgReadLatency(),
+		AvgWriteMs:     res.AvgWriteLatency(),
+		ReadP50Ms:      res.ReadLat.P50(),
+		ReadP99Ms:      res.ReadLat.P99(),
+		WriteP50Ms:     res.WriteLat.P50(),
+		WriteP99Ms:     res.WriteLat.P99(),
+		TotalIOMs:      res.TotalIOTime(),
+		Counters:       res.Counters,
+		Wear:           res.Wear,
+		TableBytes:     res.TableBytes,
+		UtilMin:        umin,
+		UtilMax:        umax,
+		TraceSpanMs:    res.TraceSpanMs,
+		MeasuredSpanMs: res.MeasuredSpanMs,
+		WarmupWrites:   res.WarmupWrites,
+	}
+	if res.Across != nil {
+		doc.AcrossAreas = res.Across.AreasTouched()
+		doc.AcrossRollbacks = res.Across.RollbackRatio()
+	}
+	return doc
+}
+
+// ExperimentResult is the stored outcome of an experiment job: the rendered
+// artifact.
+type ExperimentResult struct {
+	ID     string `json:"id"`
+	Output string `json:"output"`
+}
+
+// Entry is one stored job outcome: the spec that produced it, the result
+// document, and (for replay jobs) the sampled progress series as a
+// retrievable artifact.
+type Entry struct {
+	Key     string          `json:"key"`
+	Kind    string          `json:"kind"` // "replay" | "experiment"
+	Spec    json.RawMessage `json:"spec"`
+	Result  json.RawMessage `json:"result"`
+	Samples []obs.Sample    `json:"samples,omitempty"`
+}
+
+// runReplay executes one replay job: generate (or regenerate) the trace,
+// build and optionally age the device, replay with the job's context so
+// cancellation and timeouts stop the simulator mid-trace, then persist the
+// entry. Store failures are marked Transient so the scheduler's
+// retry-with-backoff gets a chance to ride out disk hiccups.
+func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *progressHub) (*Entry, error) {
+	conf := sp.config()
+	prof, err := sp.profile()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.Generate(prof, conf.LogicalSectors())
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.NewRunner(sim.SchemeKind(sp.Scheme), conf)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Age {
+		if err := r.AgeCtx(ctx, sim.DefaultAging()); err != nil {
+			return nil, err
+		}
+	}
+	smp, err := obs.NewSampler(s.cfg.SampleIntervalMs)
+	if err != nil {
+		return nil, err
+	}
+	smp.SetSink(hub)
+	r.SetSampler(smp)
+	res, err := r.ReplayQDCtx(ctx, reqs, sp.QD)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), smp.Samples())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put(key, entry); err != nil {
+		return nil, jobs.Transient(err)
+	}
+	return entry, nil
+}
+
+// runExperiment executes one experiment job: a fresh session (scoped to the
+// job's context so cancellation stops its replay pool) renders the artifact
+// into a buffer, which is stored as the result.
+func (s *Server) runExperiment(ctx context.Context, key string, sp ExperimentSpec) (*Entry, error) {
+	sess, err := experiments.NewSession(sp.sessionConfig())
+	if err != nil {
+		return nil, err
+	}
+	sess.WithContext(ctx)
+	var buf bytes.Buffer
+	if err := experiments.RunOne(sp.ID, sess, &buf); err != nil {
+		return nil, err
+	}
+	entry, err := buildEntry(key, "experiment", sp, &ExperimentResult{ID: sp.ID, Output: buf.String()}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put(key, entry); err != nil {
+		return nil, jobs.Transient(err)
+	}
+	return entry, nil
+}
+
+func buildEntry(key, kind string, spec, result any, samples []obs.Sample) (*Entry, error) {
+	sb, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding spec: %w", err)
+	}
+	rb, err := json.Marshal(result)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding result: %w", err)
+	}
+	return &Entry{Key: key, Kind: kind, Spec: sb, Result: rb, Samples: samples}, nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -35,6 +36,16 @@ func DefaultAging() Aging {
 // (so mappings, areas and map caches age too), and is excluded from
 // measurement by the counter reset in Replay.
 func (r *Runner) Age(a Aging) error {
+	return r.AgeCtx(context.Background(), a)
+}
+
+// AgeCtx is Age with cancellation: warm-up is the longest phase of a
+// scheduled job, so a cancelled or timed-out context aborts it between
+// batches of writes and returns the context's error.
+func (r *Runner) AgeCtx(ctx context.Context, a Aging) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if r.warmed {
 		return fmt.Errorf("sim: device already aged")
 	}
@@ -56,8 +67,16 @@ func (r *Runner) Age(a Aging) error {
 	}
 
 	// Phase 1: sequential fill of the valid set.
+	done := ctx.Done()
 	var wrote int64
 	for lpn := int64(0); lpn < validPages; lpn++ {
+		if lpn&1023 == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: aging cancelled at fill lpn %d: %w", lpn, ctx.Err())
+			default:
+			}
+		}
 		req := trace.Request{Op: trace.OpWrite, Offset: lpn * int64(spp), Count: spp}
 		if _, err := r.Scheme.Write(req, 0); err != nil {
 			return fmt.Errorf("sim: aging fill at lpn %d: %w", lpn, err)
@@ -75,6 +94,11 @@ func (r *Runner) Age(a Aging) error {
 	const checkEvery = 1024
 	prevUsed, flat := int64(-1), 0
 	for wrote < maxWrites {
+		select {
+		case <-done:
+			return fmt.Errorf("sim: aging cancelled after %d warm-up writes: %w", wrote, ctx.Err())
+		default:
+		}
 		free, _, _ := dev.Array.CountStates()
 		used := physPages - free
 		if used >= target {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"across/internal/acrossftl"
@@ -11,6 +12,12 @@ import (
 	"across/internal/ssdconf"
 	"across/internal/trace"
 )
+
+// cancelCheckMask bounds how stale a replay's view of its context can get:
+// cancellation is polled every cancelCheckMask+1 requests, so a cancelled or
+// timed-out ReplayQDCtx stops within 64 requests of the signal while the
+// uncancelled hot path pays only a nil-channel select once per 64 requests.
+const cancelCheckMask = 63
 
 // Runner owns one scheme instance over one simulated device and replays
 // traces against it.
@@ -52,7 +59,7 @@ func NewRunner(kind SchemeKind, conf ssdconf.Config) (*Runner, error) {
 // reflects only this trace (state — mappings, block wear, aged free space —
 // carries over, which is what makes aging meaningful).
 func (r *Runner) Replay(reqs []trace.Request) (*Result, error) {
-	return r.ReplayQD(reqs, 0)
+	return r.ReplayQDCtx(context.Background(), reqs, 0)
 }
 
 // ReplayQD replays with a bounded queue depth: at most qd requests are
@@ -61,6 +68,23 @@ func (r *Runner) Replay(reqs []trace.Request) (*Result, error) {
 // host with qd in-flight commands drives a device). qd <= 0 replays
 // open-loop.
 func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
+	return r.ReplayQDCtx(context.Background(), reqs, qd)
+}
+
+// ReplayCtx is Replay with cancellation: a cancelled or expired ctx aborts
+// the replay mid-trace (within cancelCheckMask+1 requests) and returns the
+// context's error.
+func (r *Runner) ReplayCtx(ctx context.Context, reqs []trace.Request) (*Result, error) {
+	return r.ReplayQDCtx(ctx, reqs, 0)
+}
+
+// ReplayQDCtx is ReplayQD with cancellation. The context is polled every
+// cancelCheckMask+1 requests, so long replays driven by a job scheduler can
+// be stopped promptly without the hot path paying a per-request check.
+func (r *Runner) ReplayQDCtx(ctx context.Context, reqs []trace.Request, qd int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	dev := r.Scheme.Device()
 	dev.ResetMeasurement()
 	if sr, ok := r.Scheme.(statsResetter); ok {
@@ -113,7 +137,15 @@ func (r *Runner) ReplayQD(reqs []trace.Request, qd int) (*Result, error) {
 		}
 	}
 
+	done := ctx.Done() // nil for Background: the select below always falls through
 	for i, req := range reqs {
+		if i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: replay cancelled at request %d/%d: %w", i, len(reqs), ctx.Err())
+			default:
+			}
+		}
 		issue := req.Time
 		if qd > 0 {
 			// Retire completed requests, then defer the issue to the

@@ -1,0 +1,176 @@
+// Package store is a content-addressed on-disk result store for simulation
+// jobs. Entries are keyed by a canonical hash of everything that determines
+// a job's outcome — scheme, device configuration, workload profile, seed,
+// scale, queue depth, aging — so two identical submissions share one entry,
+// and completed results survive daemon restarts: a resubmitted job whose
+// key is present is served from disk without touching the simulator.
+//
+// Layout: <dir>/<key[:2]>/<key>.json, one JSON document per entry, written
+// atomically (temp file + rename) so a crash mid-write never leaves a
+// half-entry that a later Get would misparse.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HashJSON computes the canonical content address of v: the SHA-256 of its
+// JSON encoding, hex-encoded. Go marshals struct fields in declaration
+// order and map keys sorted, so the encoding — and therefore the key — is
+// deterministic for a fixed Go type.
+func HashJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: hashing key material: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Store is a directory of content-addressed JSON entries. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open creates (if needed) and opens the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file, rejecting anything that is not a hex
+// digest (keys are never user-controlled paths).
+func (s *Store) path(key string) (string, error) {
+	if len(key) < 8 || strings.ToLower(key) != key {
+		return "", fmt.Errorf("store: malformed key %q", key)
+	}
+	if _, err := hex.DecodeString(key); err != nil {
+		return "", fmt.Errorf("store: malformed key %q: %w", key, err)
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), nil
+}
+
+// Put writes v as the entry for key, atomically replacing any previous
+// entry.
+func (s *Store) Put(key string, v any) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: encoding entry %s: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key[:8]+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("store: writing entry %s: %w", key, werr)
+		}
+		return fmt.Errorf("store: closing entry %s: %w", key, cerr)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: committing entry %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get unmarshals the entry for key into v. The bool reports whether the
+// entry existed; an existing-but-corrupt entry is an error.
+func (s *Store) Get(key string, v any) (bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return false, err
+	}
+	b, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: reading entry %s: %w", key, err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return false, fmt.Errorf("store: decoding entry %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Has reports whether an entry for key exists.
+func (s *Store) Has(key string) bool {
+	p, err := s.path(key)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Delete removes the entry for key (no error if absent).
+func (s *Store) Delete(key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: deleting entry %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists every stored key, sorted.
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		keys = append(keys, strings.TrimSuffix(d.Name(), ".json"))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: listing keys: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len counts stored entries (0 on an unreadable store).
+func (s *Store) Len() int {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0
+	}
+	return len(keys)
+}
