@@ -233,6 +233,11 @@ func DefaultAging() Aging { return sim.DefaultAging() }
 // against the same aged device).
 type Runner = sim.Runner
 
+// ParallelOptions tunes Runner.ReplayParallel: worker count and epoch
+// sizing. The parallel engine is bit-identical to the serial one — options
+// only change speed, never the Result.
+type ParallelOptions = sim.ParallelOptions
+
 // NewRunner builds a scheme of the given kind on a fresh device.
 func NewRunner(s Scheme, cfg Config) (*Runner, error) { return sim.NewRunner(s, cfg) }
 

@@ -29,6 +29,7 @@ func main() {
 		full       = flag.Bool("full", false, "full 128 GiB Table 1 geometry")
 		noAge      = flag.Bool("no-age", false, "skip device aging")
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
+		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine, bit-identical results; incompatible with -metrics-out/-timeline)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 
 		checkFlag  = flag.Bool("check", false, "verify the replay: shadow model on every request, device audit at end of run")
@@ -134,6 +135,9 @@ func main() {
 	}
 	var smp *across.Sampler
 	if *metricsOut != "" || *timeline != "" {
+		if *workers > 1 {
+			fatal(fmt.Errorf("-workers=%d: the parallel engine cannot host the mid-replay metrics sampler; drop -metrics-out/-timeline or use -workers=1", *workers))
+		}
 		smp, err = across.NewSampler(*metricsInt)
 		if err != nil {
 			fatal(err)
@@ -149,7 +153,12 @@ func main() {
 		r.SetSampler(smp)
 	}
 
-	res, err := r.ReplayQD(reqs, *qd)
+	var res *across.Result
+	if *workers > 1 {
+		res, err = r.ReplayParallel(reqs, *qd, across.ParallelOptions{Workers: *workers})
+	} else {
+		res, err = r.ReplayQD(reqs, *qd)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -201,10 +201,19 @@ func main() {
 	clients := flag.Int("clients", 100, "concurrent closed-loop clients (with -loadgen)")
 	jobsN := flag.Int("jobs", 200, "total distinct jobs to push (with -loadgen)")
 	loadScale := flag.Float64("loadgen-scale", 0.001, "per-job workload scale (with -loadgen)")
+	multicore := flag.Bool("multicore", false, "multi-core scaling mode: parallel engine + runner-pool sweep across GOMAXPROCS settings")
+	workersList := flag.String("workers-list", "1,2,4,8", "comma-separated worker counts to sweep (with -multicore)")
+	sweepJobs := flag.Int("sweep-jobs", 0, "independent replay jobs per sweep measurement (with -multicore; 0 = 2x max workers)")
 	flag.Parse()
 
 	if *loadgen {
 		if err := runLoadgen(*addr, *clients, *jobsN, *loadScale, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *multicore {
+		if err := runMulticore(*workersList, *sweepJobs, *out); err != nil {
 			fatal(err)
 		}
 		return

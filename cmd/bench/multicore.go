@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// MulticoreReport is the JSON document of -multicore mode: how replay
+// throughput scales with cores, both inside one replay (the parallel
+// engine's lane/merge pipeline) and across a sweep of independent replays
+// (the scheduler-style per-worker runner pool). NumCPU is recorded because
+// speedups are only meaningful relative to the cores the host actually has
+// — on a single-core machine every ratio legitimately sits near 1.
+type MulticoreReport struct {
+	Benchmark     string          `json:"benchmark"`
+	GoVersion     string          `json:"go_version"`
+	GitRevision   string          `json:"git_revision,omitempty"`
+	NumCPU        int             `json:"num_cpu"`
+	Device        string          `json:"device"`
+	TraceRequests int             `json:"trace_requests"`
+	Engine        []EngineSection `json:"engine"`
+	Sweep         []SweepSection  `json:"sweep"`
+}
+
+// EngineSection is one scheme × worker-count measurement of the parallel
+// replay engine on a single trace. SpeedupVsSerial is against the same
+// scheme's workers=1 (serial engine) row at the same GOMAXPROCS policy.
+type EngineSection struct {
+	Scheme          string  `json:"scheme"`
+	Workers         int     `json:"workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// SweepSection is one scheme × pool-width measurement of sweep-level
+// parallelism: Jobs independent replays (seed-varied traces) drained by
+// PoolWorkers workers, each owning a pre-aged Runner — the shape in which
+// acrossd exploits multiple cores. SpeedupVsSerial is against the
+// PoolWorkers=1 row.
+type SweepSection struct {
+	Scheme          string  `json:"scheme"`
+	PoolWorkers     int     `json:"pool_workers"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Jobs            int     `json:"jobs"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	JobsPerSec      float64 `json:"jobs_per_sec"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// parseWorkersList parses "-workers-list" ("1,2,4,8") into worker counts.
+func parseWorkersList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad workers list entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty workers list")
+	}
+	return out, nil
+}
+
+// engineBench measures one scheme replaying the trace with the given worker
+// count: workers=1 is the serial engine, more the parallel one. Constructing
+// and aging the runner stays outside the timed region.
+func engineBench(kind sim.SchemeKind, conf ssdconf.Config, reqs []trace.Request, workers int) (testing.BenchmarkResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		r, err := sim.NewRunner(kind, conf)
+		if err != nil {
+			runErr = err
+			return
+		}
+		if err := r.Age(sim.DefaultAging()); err != nil {
+			runErr = err
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if workers > 1 {
+				_, err = r.ReplayParallel(reqs, 0, sim.ParallelOptions{Workers: workers})
+			} else {
+				_, err = r.Replay(reqs)
+			}
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	return res, runErr
+}
+
+// sweepBench runs jobs independent replays over a pool of poolWorkers
+// workers, each worker owning its own pre-aged Runner (built and aged
+// before the clock starts). Traces are seed-varied per job so the sweep
+// mirrors a parameter study rather than one replay repeated.
+func sweepBench(kind sim.SchemeKind, conf ssdconf.Config, traces [][]trace.Request, poolWorkers int) (wall time.Duration, err error) {
+	runners := make([]*sim.Runner, poolWorkers)
+	for i := range runners {
+		r, rerr := sim.NewRunner(kind, conf)
+		if rerr != nil {
+			return 0, rerr
+		}
+		if aerr := r.Age(sim.DefaultAging()); aerr != nil {
+			return 0, aerr
+		}
+		runners[i] = r
+	}
+	jobCh := make(chan int)
+	errCh := make(chan error, poolWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < poolWorkers; w++ {
+		wg.Add(1)
+		go func(r *sim.Runner) {
+			defer wg.Done()
+			for idx := range jobCh {
+				if _, rerr := r.Replay(traces[idx]); rerr != nil {
+					errCh <- rerr
+					return
+				}
+			}
+		}(runners[w])
+	}
+	for i := range traces {
+		jobCh <- i
+	}
+	close(jobCh)
+	wg.Wait()
+	wall = time.Since(start)
+	select {
+	case err = <-errCh:
+	default:
+	}
+	return wall, err
+}
+
+// runMulticore builds and emits the multi-core scaling report.
+func runMulticore(workersList string, sweepJobs int, out string) error {
+	workers, err := parseWorkersList(workersList)
+	if err != nil {
+		return err
+	}
+	conf := benchSSD()
+	reqs, err := benchTrace(conf)
+	if err != nil {
+		return err
+	}
+	if sweepJobs < 1 {
+		sweepJobs = 2 * workers[len(workers)-1]
+	}
+	traces := make([][]trace.Request, sweepJobs)
+	for i := range traces {
+		p, perr := workload.LunProfile("lun1")
+		if perr != nil {
+			return perr
+		}
+		p = p.Scale(0.004)
+		p.Seed += int64(i)
+		traces[i], err = workload.Generate(p, conf.LogicalSectors())
+		if err != nil {
+			return err
+		}
+	}
+	var sweepReqs int
+	for _, tr := range traces {
+		sweepReqs += len(tr)
+	}
+
+	rep := MulticoreReport{
+		Benchmark:     "MulticoreReplay",
+		GoVersion:     runtime.Version(),
+		GitRevision:   gitRevision(),
+		NumCPU:        runtime.NumCPU(),
+		Device:        conf.String(),
+		TraceRequests: len(reqs),
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+
+	for _, kind := range sim.Kinds() {
+		var serialNs int64
+		for _, w := range workers {
+			runtime.GOMAXPROCS(w)
+			fmt.Fprintf(os.Stderr, "bench: multicore engine %s workers=%d...\n", kind, w)
+			r, err := engineBench(kind, conf, reqs, w)
+			if err != nil {
+				return err
+			}
+			sec := EngineSection{
+				Scheme:         string(kind),
+				Workers:        w,
+				GOMAXPROCS:     w,
+				Iterations:     r.N,
+				NsPerOp:        r.NsPerOp(),
+				RequestsPerSec: float64(len(reqs)) * float64(r.N) / r.T.Seconds(),
+			}
+			if w == 1 {
+				serialNs = sec.NsPerOp
+			}
+			if serialNs > 0 && sec.NsPerOp > 0 {
+				sec.SpeedupVsSerial = float64(serialNs) / float64(sec.NsPerOp)
+			}
+			rep.Engine = append(rep.Engine, sec)
+		}
+
+		var serialWall float64
+		for _, w := range workers {
+			runtime.GOMAXPROCS(w)
+			fmt.Fprintf(os.Stderr, "bench: multicore sweep %s pool=%d (%d jobs)...\n", kind, w, sweepJobs)
+			wall, err := sweepBench(kind, conf, traces, w)
+			if err != nil {
+				return err
+			}
+			sec := SweepSection{
+				Scheme:         string(kind),
+				PoolWorkers:    w,
+				GOMAXPROCS:     w,
+				Jobs:           sweepJobs,
+				WallSeconds:    wall.Seconds(),
+				JobsPerSec:     float64(sweepJobs) / wall.Seconds(),
+				RequestsPerSec: float64(sweepReqs) / wall.Seconds(),
+			}
+			if w == 1 {
+				serialWall = sec.WallSeconds
+			}
+			if serialWall > 0 && sec.WallSeconds > 0 {
+				sec.SpeedupVsSerial = serialWall / sec.WallSeconds
+			}
+			rep.Sweep = append(rep.Sweep, sec)
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

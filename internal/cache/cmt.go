@@ -48,6 +48,22 @@ func NewCMT(entriesPerPage, residentPages int) *CMT {
 	return &CMT{entriesPerPage: entriesPerPage, lru: NewLRU(residentPages)}
 }
 
+// NewCMTDense builds a cached mapping table over a mapping table of known
+// size: totalEntries bounds the translation-page id space, so the cache uses
+// a dense, churn-allocation-free residency table (see NewLRUDense). Every
+// FTL scheme knows its table size up front, so this is the constructor the
+// simulator's hot paths use.
+func NewCMTDense(entriesPerPage, residentPages int, totalEntries int64) *CMT {
+	if entriesPerPage < 1 {
+		entriesPerPage = 1
+	}
+	pages := (totalEntries + int64(entriesPerPage) - 1) / int64(entriesPerPage)
+	if pages < 1 {
+		pages = 1
+	}
+	return &CMT{entriesPerPage: entriesPerPage, lru: NewLRUDense(residentPages, pages)}
+}
+
 // PageOf returns the translation-page id that stores an entry index.
 func (c *CMT) PageOf(entry int64) int64 { return entry / int64(c.entriesPerPage) }
 

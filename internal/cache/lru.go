@@ -15,12 +15,15 @@ type lruNode struct {
 }
 
 // LRU is a fixed-capacity least-recently-used set of int64 keys with a dirty
-// bit per key. The zero value is not usable; call NewLRU.
+// bit per key. The zero value is not usable; call NewLRU or NewLRUDense.
 type LRU struct {
 	capacity int
-	table    map[int64]*lruNode
+	table    map[int64]*lruNode // key -> node (nil in dense mode)
+	dense    []*lruNode         // key-indexed table when the key space is known
+	size     int
 	head     *lruNode // most recently used
 	tail     *lruNode // least recently used
+	free     *lruNode // recycled nodes, chained through next
 }
 
 // NewLRU creates an LRU that holds at most capacity keys (capacity >= 1).
@@ -31,22 +34,56 @@ func NewLRU(capacity int) *LRU {
 	return &LRU{capacity: capacity, table: make(map[int64]*lruNode, capacity)}
 }
 
+// NewLRUDense creates an LRU whose keys are known to lie in [0, keySpace):
+// the residency table is a key-indexed slice, so lookups cost one index and
+// the table never allocates under churn (a map's delete/insert cycle grows
+// overflow buckets indefinitely). Translation-page caches qualify: their
+// keys are dense page ids bounded by the mapping-table size.
+func NewLRUDense(capacity int, keySpace int64) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, dense: make([]*lruNode, keySpace)}
+}
+
+func (l *LRU) lookup(key int64) *lruNode {
+	if l.dense != nil {
+		return l.dense[key]
+	}
+	return l.table[key]
+}
+
+func (l *LRU) install(key int64, n *lruNode) {
+	if l.dense != nil {
+		l.dense[key] = n
+	} else {
+		l.table[key] = n
+	}
+	l.size++
+}
+
+func (l *LRU) forget(key int64) {
+	if l.dense != nil {
+		l.dense[key] = nil
+	} else {
+		delete(l.table, key)
+	}
+	l.size--
+}
+
 // Len returns the number of resident keys.
-func (l *LRU) Len() int { return len(l.table) }
+func (l *LRU) Len() int { return l.size }
 
 // Cap returns the capacity.
 func (l *LRU) Cap() int { return l.capacity }
 
 // Contains reports residency without touching recency.
-func (l *LRU) Contains(key int64) bool {
-	_, ok := l.table[key]
-	return ok
-}
+func (l *LRU) Contains(key int64) bool { return l.lookup(key) != nil }
 
 // IsDirty reports the dirty bit of a resident key (false if absent).
 func (l *LRU) IsDirty(key int64) bool {
-	n, ok := l.table[key]
-	return ok && n.dirty
+	n := l.lookup(key)
+	return n != nil && n.dirty
 }
 
 func (l *LRU) unlink(n *lruNode) {
@@ -79,7 +116,7 @@ func (l *LRU) pushFront(n *lruNode) {
 // and, if an insertion evicted the LRU victim, the victim's key and dirty
 // bit (evicted=false otherwise).
 func (l *LRU) Touch(key int64, dirty bool) (hit bool, evictedKey int64, evictedDirty, evicted bool) {
-	if n, ok := l.table[key]; ok {
+	if n := l.lookup(key); n != nil {
 		n.dirty = n.dirty || dirty
 		if l.head != n {
 			l.unlink(n)
@@ -87,14 +124,24 @@ func (l *LRU) Touch(key int64, dirty bool) (hit bool, evictedKey int64, evictedD
 		}
 		return true, 0, false, false
 	}
-	if len(l.table) >= l.capacity {
+	// Recycle the evicted victim (or a previously removed node) for the new
+	// entry: once the cache is warm every miss evicts, so the steady-state
+	// insert path allocates nothing.
+	var n *lruNode
+	if l.size >= l.capacity {
 		victim := l.tail
 		l.unlink(victim)
-		delete(l.table, victim.key)
+		l.forget(victim.key)
 		evictedKey, evictedDirty, evicted = victim.key, victim.dirty, true
+		n = victim
+	} else if l.free != nil {
+		n, l.free = l.free, l.free.next
+		n.next = nil
+	} else {
+		n = &lruNode{}
 	}
-	n := &lruNode{key: key, dirty: dirty}
-	l.table[key] = n
+	n.key, n.dirty = key, dirty
+	l.install(key, n)
 	l.pushFront(n)
 	return false, evictedKey, evictedDirty, evicted
 }
@@ -102,26 +149,29 @@ func (l *LRU) Touch(key int64, dirty bool) (hit bool, evictedKey int64, evictedD
 // Remove drops a key (e.g. when its translation page is discarded) and
 // reports whether it was resident and dirty.
 func (l *LRU) Remove(key int64) (wasResident, wasDirty bool) {
-	n, ok := l.table[key]
-	if !ok {
+	n := l.lookup(key)
+	if n == nil {
 		return false, false
 	}
 	l.unlink(n)
-	delete(l.table, key)
-	return true, n.dirty
+	l.forget(key)
+	wasDirty = n.dirty
+	n.key, n.dirty = 0, false
+	n.next, l.free = l.free, n
+	return true, wasDirty
 }
 
 // Clean clears the dirty bit of a resident key (after its contents were
 // flushed out of band).
 func (l *LRU) Clean(key int64) {
-	if n, ok := l.table[key]; ok {
+	if n := l.lookup(key); n != nil {
 		n.dirty = false
 	}
 }
 
 // Keys returns resident keys from most to least recently used (test helper).
 func (l *LRU) Keys() []int64 {
-	out := make([]int64, 0, len(l.table))
+	out := make([]int64, 0, l.size)
 	for n := l.head; n != nil; n = n.next {
 		out = append(out, n.key)
 	}

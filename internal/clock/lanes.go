@@ -1,0 +1,119 @@
+package clock
+
+import "fmt"
+
+// Op is one scheduled chip operation as captured for lane processing: the
+// chip it occupied, when it started and for how long. End is Start+Dur; it
+// is stored so lanes never recompute it with a different rounding than the
+// scheduler used.
+type Op struct {
+	Chip  int32
+	Start float64
+	Dur   float64
+	End   float64
+}
+
+// Capture diverts per-chip accounting out of Schedule and into buffers a
+// parallel replay engine can hand to per-chip lanes. While a capture is
+// installed the scheduler still advances busy-until timestamps (they feed
+// back into the simulation and must stay exact), but it defers the busy-time
+// accumulation: each operation is appended to its chip's buffer instead, and
+// a LaneState folds the buffers later — in the same per-chip order, with the
+// same float additions, so the folded totals are bit-identical to what the
+// serial accumulation would have produced.
+type Capture struct {
+	lanes [][]Op
+	pool  [][][]Op // recycled epoch buffers, one set per epoch in flight
+}
+
+// NewCapture builds a capture for a scheduler of n chips.
+func NewCapture(n int) *Capture {
+	c := &Capture{lanes: make([][]Op, n)}
+	return c
+}
+
+// Chips returns the number of per-chip lanes.
+func (c *Capture) Chips() int { return len(c.lanes) }
+
+// add appends one operation to its chip lane (called by Schedule).
+func (c *Capture) add(chip int, start, dur, end float64) {
+	c.lanes[chip] = append(c.lanes[chip], Op{Chip: int32(chip), Start: start, Dur: dur, End: end})
+}
+
+// Cut detaches the operations captured since the previous Cut — one epoch —
+// and installs fresh (recycled when possible) buffers. The returned slice is
+// indexed by chip and owned by the caller until returned via Recycle.
+func (c *Capture) Cut() [][]Op {
+	out := c.lanes
+	var fresh [][]Op
+	if n := len(c.pool); n > 0 {
+		fresh, c.pool = c.pool[n-1], c.pool[:n-1]
+	} else {
+		fresh = make([][]Op, len(out))
+	}
+	for i := range fresh {
+		if fresh[i] != nil {
+			fresh[i] = fresh[i][:0]
+		}
+	}
+	c.lanes = fresh
+	return out
+}
+
+// Recycle returns an epoch's buffers for reuse by a later Cut. It must not
+// be called concurrently with Cut or add; the replay engine recycles from
+// the goroutine that owns the capture.
+func (c *Capture) Recycle(epoch [][]Op) {
+	if len(epoch) != len(c.lanes) {
+		return // geometry changed under us; drop it
+	}
+	c.pool = append(c.pool, epoch)
+}
+
+// LaneState is the per-chip accumulator a lane worker owns. Folding every
+// captured epoch of one chip, in epoch order, reproduces exactly the
+// busy-time sum and final busy-until timestamp the serial scheduler would
+// hold for that chip.
+type LaneState struct {
+	BusyTime float64
+	Ops      int64
+	LastEnd  float64
+	hasOps   bool
+}
+
+// Fold accumulates one epoch's operations of one chip. It returns an error
+// if the lane's monotonicity invariant is violated — operations on a chip
+// must start no earlier than the previous operation ended, because a chip is
+// an exclusive resource (this is the lane-level half of the engine's
+// determinism self-audit).
+func (s *LaneState) Fold(ops []Op) error {
+	for i := range ops {
+		op := &ops[i]
+		if s.hasOps && op.Start < s.LastEnd {
+			return fmt.Errorf("clock: lane for chip %d: op starts at %g before previous end %g",
+				op.Chip, op.Start, s.LastEnd)
+		}
+		s.BusyTime += op.Dur
+		s.Ops++
+		s.LastEnd = op.End
+		s.hasOps = true
+	}
+	return nil
+}
+
+// Busy reports whether the lane has folded any operation (LastEnd is only
+// meaningful when it has).
+func (s *LaneState) Busy() bool { return s.hasOps }
+
+// SetCapture installs (or, with nil, removes) a capture on the scheduler.
+// With a capture installed, Schedule appends each operation to the capture
+// instead of accumulating per-chip busy time; busy-until bookkeeping is
+// unaffected. The caller that installs a capture owns reconciling the
+// deferred busy time (see sim's parallel engine).
+func (s *Scheduler) SetCapture(c *Capture) {
+	if c != nil && c.Chips() != len(s.busyUntil) {
+		panic(fmt.Sprintf("clock: capture for %d chips installed on %d-chip scheduler",
+			c.Chips(), len(s.busyUntil)))
+	}
+	s.capture = c
+}

@@ -50,7 +50,7 @@ func NewDFTLWithCache(conf *ssdconf.Config, residentPages int) (*DFTL, error) {
 	}
 	s := &DFTL{
 		Base: base,
-		cmt:  cache.NewCMT(entriesPerPage, residentPages),
+		cmt:  cache.NewCMTDense(entriesPerPage, residentPages, base.PMT.Len()),
 	}
 	s.ms = NewMapStore(s.Dev, s.Al)
 	s.Al.SetMigrate(s.migrate)

@@ -16,7 +16,7 @@ func (s *Scheme) AuditMapping() error {
 	// flash location (staging invalidates the old copy).
 	for sub := int64(0); sub < int64(len(s.subLoc)); sub++ {
 		loc := s.subLoc[sub]
-		if _, buffered := s.bufMap[sub]; buffered && loc != unmapped {
+		if s.buffered(sub) && loc != unmapped {
 			return fmt.Errorf("mrsm audit: buffered sub %d still has flash location %d", sub, loc)
 		}
 		if loc == unmapped {
@@ -31,62 +31,71 @@ func (s *Scheme) AuditMapping() error {
 		if tag.Kind != ftl.TagMRSM {
 			return fmt.Errorf("mrsm audit: sub %d page %d has foreign tag %+v", sub, ppn, tag)
 		}
-		ps, ok := s.pages[ppn]
-		if !ok {
+		if s.pageLive[ppn] == 0 {
 			return fmt.Errorf("mrsm audit: sub %d maps to page %d with no slot census", sub, ppn)
 		}
-		if ps.owner[slot] != sub {
+		if got := s.pageOwner[loc]; got != sub {
 			return fmt.Errorf("mrsm audit: sub %d claims page %d slot %d, census says sub %d",
-				sub, ppn, slot, ps.owner[slot])
+				sub, ppn, slot, got)
 		}
 	}
 	// Reverse: every censused page is a valid flash page, its live count
-	// matches its occupied slots, and every occupied slot points back.
-	for ppn, ps := range s.pages {
-		if st := s.Dev.Array.State(ppn); st != flash.PageValid {
-			return fmt.Errorf("mrsm audit: censused page %d is %v", ppn, st)
-		}
-		live := 0
-		for slot, sub := range ps.owner {
+	// matches its occupied slots, every occupied slot points back, and dead
+	// pages keep a fully cleared census segment (installPack relies on it).
+	for i, live := range s.pageLive {
+		ppn := flash.PPN(i)
+		base := int64(i) * int64(s.subPerPg)
+		counted := 0
+		for slot := int64(0); slot < int64(s.subPerPg); slot++ {
+			sub := s.pageOwner[base+slot]
 			if sub == unmapped {
 				continue
 			}
-			live++
-			want := int64(ppn)*int64(s.subPerPg) + int64(slot)
+			counted++
+			if live == 0 {
+				return fmt.Errorf("mrsm audit: dead page %d still owns sub %d in slot %d", ppn, sub, slot)
+			}
 			if sub < 0 || sub >= int64(len(s.subLoc)) {
 				return fmt.Errorf("mrsm audit: page %d slot %d holds out-of-range sub %d", ppn, slot, sub)
 			}
-			if s.subLoc[sub] != want {
+			if s.subLoc[sub] != base+slot {
 				return fmt.Errorf("mrsm audit: page %d slot %d holds sub %d, which maps to %d",
 					ppn, slot, sub, s.subLoc[sub])
 			}
 		}
-		if live != ps.live {
-			return fmt.Errorf("mrsm audit: page %d census live %d, counted %d", ppn, ps.live, live)
-		}
 		if live == 0 {
-			return fmt.Errorf("mrsm audit: page %d censused with no live slots (missed invalidate)", ppn)
+			continue
+		}
+		if st := s.Dev.Array.State(ppn); st != flash.PageValid {
+			return fmt.Errorf("mrsm audit: censused page %d is %v", ppn, st)
+		}
+		if counted != int(live) {
+			return fmt.Errorf("mrsm audit: page %d census live %d, counted %d", ppn, live, counted)
 		}
 	}
-	// Pack buffer: bufMap and bufList must be inverse of each other.
-	if len(s.bufMap) != len(s.bufList) {
-		return fmt.Errorf("mrsm audit: pack buffer map has %d entries, list %d", len(s.bufMap), len(s.bufList))
+	// Pack buffer: never overfull, and no sub-page staged twice.
+	if len(s.bufList) >= s.subPerPg {
+		return fmt.Errorf("mrsm audit: pack buffer holds %d sub-pages, flush threshold is %d",
+			len(s.bufList), s.subPerPg)
 	}
 	for i, sub := range s.bufList {
-		if got, ok := s.bufMap[sub]; !ok || got != i {
-			return fmt.Errorf("mrsm audit: buffer slot %d holds sub %d, map says slot %d (present %v)",
-				i, sub, got, ok)
+		for j := 0; j < i; j++ {
+			if s.bufList[j] == sub {
+				return fmt.Errorf("mrsm audit: sub %d staged in buffer slots %d and %d", sub, j, i)
+			}
 		}
 	}
 	return s.ms.Audit()
 }
 
 // VisitOwned implements check.Auditable: the packed data pages in the census
-// plus the map store's translation pages. Census iteration is map-ordered
-// (nondeterministic); the checker's sweep is order-insensitive.
+// plus the map store's translation pages.
 func (s *Scheme) VisitOwned(fn func(flash.PPN) error) error {
-	for ppn := range s.pages {
-		if err := fn(ppn); err != nil {
+	for i, live := range s.pageLive {
+		if live == 0 {
+			continue
+		}
+		if err := fn(flash.PPN(i)); err != nil {
 			return err
 		}
 	}
@@ -103,7 +112,7 @@ func (s *Scheme) ResolveSector(sec int64) (ftl.SectorSource, error) {
 		return ftl.SectorSource{}, fmt.Errorf("mrsm: sector %d outside device", sec)
 	}
 	sub := sec / int64(s.subSec)
-	if _, buffered := s.bufMap[sub]; buffered {
+	if s.buffered(sub) {
 		return ftl.SectorSource{Kind: ftl.SrcBuffered}, nil
 	}
 	loc := s.subLoc[sub]

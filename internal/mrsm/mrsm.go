@@ -48,13 +48,6 @@ const maxNodeDirty = 12
 
 const unmapped = int64(-1)
 
-// pageSlots is the controller-side census of one MRSM-packed physical page:
-// which logical sub-page each slot holds and how many are still live.
-type pageSlots struct {
-	owner []int64 // slot -> logical sub-page id (unmapped if dead)
-	live  int
-}
-
 // Scheme is the MRSM implementation of ftl.Scheme.
 type Scheme struct {
 	ftl.Base
@@ -63,28 +56,35 @@ type Scheme struct {
 	subSec   int // sectors per sub-page
 	depth    int // tree lookup cost in DRAM accesses
 
-	subLoc    []int64                  // logical sub-page -> physical sub-slot
-	pages     map[flash.PPN]*pageSlots // live MRSM data pages
-	cmt       *cache.CMT               // cached mapping table over sub-page entries
-	ms        *ftl.MapStore            // flash residence of spilled map pages
-	nodeDirty map[int64]int            // un-persisted updates per resident node
+	subLoc []int64 // logical sub-page -> physical sub-slot
+
+	// Packed-page census, flat over the physical page space: pageOwner names
+	// the logical sub-page held by each physical sub-slot (unmapped when
+	// dead) and pageLive counts a page's live slots (0 = not an MRSM data
+	// page). Flat arrays rather than a map of per-page census objects:
+	// packed pages are created and killed on every flush/invalidate, and
+	// both the map's bucket churn and the census allocations were the
+	// scheme's dominant steady-state allocation sources.
+	pageOwner []int64 // ppn*subPerPg + slot -> logical sub-page
+	pageLive  []int32 // ppn -> live slot count
+
+	cmt       *cache.CMT    // cached mapping table over sub-page entries
+	ms        *ftl.MapStore // flash residence of spilled map pages
+	nodeDirty []int32       // un-persisted updates per tree node, indexed by node id
 
 	// Pack buffer: sub-pages accumulated in controller RAM until a full
-	// physical page can be programmed.
-	bufMap  map[int64]int // logical sub-page -> buffer slot
-	bufList []int64       // buffer slot -> logical sub-page
+	// physical page can be programmed. At most subPerPg entries, so
+	// membership tests scan the slice instead of keeping an inverse map.
+	bufList []int64 // buffer slot -> logical sub-page
 
 	// ppnScratch is the per-request list of distinct physical pages to
 	// read (RMW sources on writes, data sources on reads); reusing it
 	// keeps the steady-state request path allocation-free.
 	ppnScratch []flash.PPN
 
-	// Recycling pools for packed-page bookkeeping. Pack pages are created
-	// and destroyed constantly (every flush makes one, every full
-	// invalidation kills one), so pooling removes the dominant steady-state
-	// allocation of the scheme. subsPool entries may be in flight across a
-	// nested GC flush, hence a pool rather than a single scratch slice.
-	psPool    []*pageSlots
+	// subsPool recycles the pack-buffer snapshots taken by takeBuffer;
+	// entries may be in flight across a nested GC flush, hence a pool
+	// rather than a single scratch slice.
 	subsPool  [][]int64
 	ownersBuf []int64 // salvage's snapshot of a victim's slot owners
 }
@@ -102,19 +102,24 @@ func New(conf *ssdconf.Config) (*Scheme, error) {
 	totalSub := conf.LogicalPages() * int64(subPerPg)
 	nodeBytes := int64(nodeEntries * conf.MRSMEntryBytes)
 	residentNodes := int(conf.DRAMBudget() / nodeBytes)
+	numNodes := (totalSub + nodeEntries - 1) / nodeEntries
+	totalPages := base.Dev.Array.Geo.TotalPages()
 	s := &Scheme{
 		Base:      base,
 		subPerPg:  subPerPg,
 		subSec:    conf.SectorsPerPage() / subPerPg,
 		depth:     treeDepth(totalSub),
 		subLoc:    make([]int64, totalSub),
-		pages:     make(map[flash.PPN]*pageSlots),
-		cmt:       cache.NewCMT(nodeEntries, residentNodes),
-		bufMap:    make(map[int64]int),
-		nodeDirty: make(map[int64]int),
+		pageOwner: make([]int64, totalPages*int64(subPerPg)),
+		pageLive:  make([]int32, totalPages),
+		cmt:       cache.NewCMTDense(nodeEntries, residentNodes, totalSub),
+		nodeDirty: make([]int32, numNodes),
 	}
 	for i := range s.subLoc {
 		s.subLoc[i] = unmapped
+	}
+	for i := range s.pageOwner {
+		s.pageOwner[i] = unmapped
 	}
 	s.ms = ftl.NewMapStore(s.Dev, s.Al)
 	s.Al.SetMigrate(s.migrate)
@@ -160,17 +165,21 @@ func (s *Scheme) ResetStats() { s.cmt.ResetStats() }
 func (s *Scheme) migrate(tag flash.Tag, old, new flash.PPN) {
 	switch tag.Kind {
 	case ftl.TagMRSM:
-		ps, ok := s.pages[old]
-		if !ok {
+		if s.pageLive[old] == 0 {
 			panic("mrsm: GC moved a packed page the scheme does not own")
 		}
-		delete(s.pages, old)
-		s.pages[new] = ps
-		for slot, sub := range ps.owner {
+		oldBase := int64(old) * int64(s.subPerPg)
+		newBase := int64(new) * int64(s.subPerPg)
+		for slot := int64(0); slot < int64(s.subPerPg); slot++ {
+			sub := s.pageOwner[oldBase+slot]
+			s.pageOwner[oldBase+slot] = unmapped
+			s.pageOwner[newBase+slot] = sub
 			if sub != unmapped {
-				s.subLoc[sub] = int64(new)*int64(s.subPerPg) + int64(slot)
+				s.subLoc[sub] = newBase + slot
 			}
 		}
+		s.pageLive[new] = s.pageLive[old]
+		s.pageLive[old] = 0
 	case ftl.TagMap:
 		if !s.ms.OnMigrate(tag.Key, old, new) {
 			panic("mrsm: GC moved a translation page the map store does not own")
@@ -194,7 +203,7 @@ func (s *Scheme) touchEntry(sub int64, dirty bool, now float64) (delay, ready fl
 	}
 	node := s.cmt.PageOf(sub)
 	if eff.FlushWrite {
-		delete(s.nodeDirty, eff.Victim)
+		s.nodeDirty[eff.Victim] = 0
 	}
 	ready, err = s.ms.ApplyEffect(eff, node, now)
 	if err != nil || !dirty {
@@ -204,7 +213,7 @@ func (s *Scheme) touchEntry(sub int64, dirty bool, now float64) (delay, ready fl
 	// checkpoint is background work: it occupies the chip but does not gate
 	// the triggering request.
 	if s.nodeDirty[node]++; s.nodeDirty[node] >= maxNodeDirty {
-		delete(s.nodeDirty, node)
+		s.nodeDirty[node] = 0
 		if _, ferr := s.ms.Flush(node, now); ferr != nil {
 			return delay, ready, ferr
 		}
@@ -221,17 +230,13 @@ func (s *Scheme) invalidateSub(sub int64) error {
 		return nil
 	}
 	ppn := flash.PPN(loc / int64(s.subPerPg))
-	slot := int(loc % int64(s.subPerPg))
-	ps := s.pages[ppn]
-	if ps == nil || ps.owner[slot] != sub {
+	if s.pageOwner[loc] != sub || s.pageLive[ppn] == 0 {
 		panic("mrsm: sub-page location table out of sync")
 	}
-	ps.owner[slot] = unmapped
-	ps.live--
+	s.pageOwner[loc] = unmapped
+	s.pageLive[ppn]--
 	s.subLoc[sub] = unmapped
-	if ps.live == 0 {
-		delete(s.pages, ppn)
-		s.psPool = append(s.psPool, ps)
+	if s.pageLive[ppn] == 0 {
 		return s.Dev.Invalidate(ppn)
 	}
 	return nil
@@ -270,11 +275,19 @@ func (s *Scheme) takeBuffer() []int64 {
 		subs, s.subsPool = s.subsPool[n-1][:0], s.subsPool[:n-1]
 	}
 	subs = append(subs, s.bufList...)
-	for _, sub := range subs {
-		delete(s.bufMap, sub)
-	}
 	s.bufList = s.bufList[:0]
 	return subs
+}
+
+// buffered reports whether a sub-page is staged in the pack buffer. The
+// buffer holds at most subPerPg entries, so a linear scan beats a map.
+func (s *Scheme) buffered(sub int64) bool {
+	for _, b := range s.bufList {
+		if b == sub {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Scheme) installPack(ppn flash.PPN, subs []int64, issue float64, class ftl.OpClass) (float64, error) {
@@ -283,21 +296,12 @@ func (s *Scheme) installPack(ppn flash.PPN, subs []int64, issue float64, class f
 	if err != nil {
 		return issue, err
 	}
-	var ps *pageSlots
-	if n := len(s.psPool); n > 0 {
-		ps, s.psPool = s.psPool[n-1], s.psPool[:n-1]
-	} else {
-		ps = &pageSlots{owner: make([]int64, s.subPerPg)}
-	}
-	ps.live = len(subs)
-	for i := range ps.owner {
-		ps.owner[i] = unmapped
-	}
+	base := int64(ppn) * int64(s.subPerPg)
 	for slot, sub := range subs {
-		ps.owner[slot] = sub
-		s.subLoc[sub] = int64(ppn)*int64(s.subPerPg) + int64(slot)
+		s.pageOwner[base+int64(slot)] = sub
+		s.subLoc[sub] = base + int64(slot)
 	}
-	s.pages[ppn] = ps
+	s.pageLive[ppn] = int32(len(subs))
 	s.subsPool = append(s.subsPool, subs)
 	return done, nil
 }
@@ -311,18 +315,18 @@ func (s *Scheme) salvage(tag flash.Tag, old flash.PPN, pl flash.PlaneID, now flo
 	if tag.Kind != ftl.TagMRSM {
 		return false, nil
 	}
-	ps, ok := s.pages[old]
-	if !ok {
+	if s.pageLive[old] == 0 {
 		panic("mrsm: GC salvaging a packed page the scheme does not own")
 	}
 	if _, err := s.Dev.Read(old, now, ftl.OpGC); err != nil {
 		return false, err
 	}
-	// Snapshot the slot owners before invalidating: invalidateSub mutates
-	// ps.owner, and once the page dies ps returns to the pool where a nested
-	// GC flush may reuse it. salvage never nests (the GC allocation path
-	// cannot trigger another collection), so one scratch buffer suffices.
-	owners := append(s.ownersBuf[:0], ps.owner...)
+	// Snapshot the slot owners before invalidating: invalidateSub clears
+	// census slots as it goes, and a nested GC flush may repopulate the
+	// page's segment. salvage never nests (the GC allocation path cannot
+	// trigger another collection), so one scratch buffer suffices.
+	base := int64(old) * int64(s.subPerPg)
+	owners := append(s.ownersBuf[:0], s.pageOwner[base:base+int64(s.subPerPg)]...)
 	s.ownersBuf = owners
 	for _, sub := range owners {
 		if sub == unmapped {
@@ -331,7 +335,6 @@ func (s *Scheme) salvage(tag flash.Tag, old flash.PPN, pl flash.PlaneID, now flo
 		if err := s.invalidateSub(sub); err != nil {
 			return false, err
 		}
-		s.bufMap[sub] = len(s.bufList)
 		s.bufList = append(s.bufList, sub)
 		if len(s.bufList) == s.subPerPg {
 			if _, err := s.flushPackGC(pl, now); err != nil {
@@ -403,13 +406,12 @@ func (s *Scheme) Write(r trace.Request, now float64) (float64, error) {
 			}
 		}
 		// Stage into the pack buffer.
-		if _, buffered := s.bufMap[sub]; buffered {
+		if s.buffered(sub) {
 			continue // overwrite in RAM
 		}
 		if err := s.invalidateSub(sub); err != nil {
 			return now, err
 		}
-		s.bufMap[sub] = len(s.bufList)
 		s.bufList = append(s.bufList, sub)
 		if len(s.bufList) == s.subPerPg {
 			done, err := s.flushPack(issue)
@@ -466,7 +468,7 @@ func (s *Scheme) Read(r trace.Request, now float64) (float64, error) {
 	// allocating. A request touches at most a handful of pages.
 	ppns := s.ppnScratch[:0]
 	for sub := first; sub <= last; sub++ {
-		if _, buffered := s.bufMap[sub]; buffered {
+		if s.buffered(sub) {
 			continue
 		}
 		if loc := s.subLoc[sub]; loc != unmapped {

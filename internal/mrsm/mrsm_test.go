@@ -149,8 +149,14 @@ func TestOverwriteInvalidatesOldSlotsAndPages(t *testing.T) {
 	if invalid != 1 {
 		t.Fatalf("invalid pages = %d, want 1 (page A fully dead)", invalid)
 	}
-	if len(s.pages) != 1 {
-		t.Fatalf("live MRSM pages = %d, want 1", len(s.pages))
+	live := 0
+	for _, n := range s.pageLive {
+		if n > 0 {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("live MRSM pages = %d, want 1", live)
 	}
 }
 
@@ -295,23 +301,28 @@ func TestRejectsInvalidRequests(t *testing.T) {
 // audit verifies subLoc/pages bidirectional consistency and that every live
 // packed page is valid in the flash array.
 func (s *Scheme) audit() error {
-	for ppn, ps := range s.pages {
-		if s.Dev.Array.State(ppn) != flash.PageValid {
-			return errAudit("page %d is %v with %d live slots", int64(ppn), s.Dev.Array.State(ppn), ps.live)
+	for i, want := range s.pageLive {
+		if want == 0 {
+			continue
 		}
+		ppn := flash.PPN(i)
+		if s.Dev.Array.State(ppn) != flash.PageValid {
+			return errAudit("page %d is %v with %d live slots", int64(i), s.Dev.Array.State(ppn), want)
+		}
+		base := int64(i) * int64(s.subPerPg)
 		live := 0
-		for slot, sub := range ps.owner {
+		for slot := int64(0); slot < int64(s.subPerPg); slot++ {
+			sub := s.pageOwner[base+slot]
 			if sub == unmapped {
 				continue
 			}
 			live++
-			want := int64(ppn)*int64(s.subPerPg) + int64(slot)
-			if s.subLoc[sub] != want {
-				return errAudit("sub %d maps to %d, slot table says %d", sub, s.subLoc[sub], want)
+			if s.subLoc[sub] != base+slot {
+				return errAudit("sub %d maps to %d, slot table says %d", sub, s.subLoc[sub], base+slot)
 			}
 		}
-		if live != ps.live {
-			return errAudit("page %d live=%d, recount=%d", int64(ppn), ps.live, live)
+		if live != int(want) {
+			return errAudit("page %d live=%d, recount=%d", int64(i), want, live)
 		}
 	}
 	for sub, loc := range s.subLoc {
@@ -320,8 +331,7 @@ func (s *Scheme) audit() error {
 		}
 		ppn := flash.PPN(loc / int64(s.subPerPg))
 		slot := int(loc % int64(s.subPerPg))
-		ps, ok := s.pages[ppn]
-		if !ok || ps.owner[slot] != int64(sub) {
+		if s.pageLive[ppn] == 0 || s.pageOwner[loc] != int64(sub) {
 			return errAudit("sub %d points at page %d slot %d which does not own it", sub, int64(ppn), slot)
 		}
 	}

@@ -243,6 +243,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		kind      string
 		priority  int
 		timeoutMs int64
+		weight    int
 		run       func(ctx context.Context, key string, hub *progressHub) (*Entry, error)
 		hub       *progressHub
 	)
@@ -263,6 +264,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		kind, priority, timeoutMs = "replay", sp.Priority, sp.TimeoutMs
+		weight = sp.Workers
 		hub = newProgressHub()
 		run = func(ctx context.Context, key string, hub *progressHub) (*Entry, error) {
 			return s.runReplay(ctx, key, sp, hub)
@@ -321,6 +323,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Key:      key,
 		Priority: priority,
 		Timeout:  time.Duration(timeoutMs) * time.Millisecond,
+		Weight:   weight,
 	}, func(ctx context.Context) (any, error) {
 		return run(ctx, key, hub)
 	})

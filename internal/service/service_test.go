@@ -505,3 +505,38 @@ func TestDrainFinishesOutstanding(t *testing.T) {
 		t.Fatalf("submit after drain = %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestParallelWorkersReplay submits the same simulated work twice — once on
+// the serial engine, once with workers=4 — into separate stores, and
+// requires byte-identical result documents: the workers knob is a
+// scheduling choice, not a semantic one. It also confirms the two specs
+// share a content key (a cached serial result can serve a parallel request
+// and vice versa).
+func TestParallelWorkersReplay(t *testing.T) {
+	run := func(spec string) (string, json.RawMessage) {
+		t.Helper()
+		_, ts := newTestServer(t, t.TempDir())
+		defer ts.Close()
+		code, st := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit = %d, want 202", code)
+		}
+		final := pollState(t, ts.URL, st.ID, 30*time.Second)
+		if jobs.State(final.State) != jobs.StateSucceeded {
+			t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+		}
+		code, doc := fetchResult(t, ts.URL, st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("result = %d, want 200", code)
+		}
+		return st.Key, doc["result"]
+	}
+	serialKey, serial := run(`{"type":"replay","scheme":"MRSM","profile":"lun2","scale":0.002,"seed":9}`)
+	parKey, par := run(`{"type":"replay","scheme":"MRSM","profile":"lun2","scale":0.002,"seed":9,"workers":4}`)
+	if serialKey != parKey {
+		t.Fatalf("workers changed the content key: %s vs %s", serialKey, parKey)
+	}
+	if string(serial) != string(par) {
+		t.Fatalf("parallel result diverged from serial:\n serial: %s\n parallel: %s", serial, par)
+	}
+}

@@ -36,6 +36,12 @@ type ReplaySpec struct {
 
 	Priority  int   `json:"priority,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Workers sizes the replay's internal worker pool: 0 lets the
+	// scheduler's CPU-token grant decide, 1 forces the serial engine, >1
+	// requests the parallel engine. A scheduling knob only — the parallel
+	// engine is bit-identical to the serial one — so it is excluded from
+	// the content key, and cached results serve any Workers value.
+	Workers int `json:"workers,omitempty"`
 }
 
 func (sp *ReplaySpec) normalise() {
@@ -61,6 +67,9 @@ func (sp *ReplaySpec) validate() error {
 	}
 	if sp.Scale <= 0 || sp.Scale > 1 {
 		return fmt.Errorf("scale %v out of (0,1]", sp.Scale)
+	}
+	if sp.Workers < 0 {
+		return fmt.Errorf("workers %d negative", sp.Workers)
 	}
 	conf := sp.config()
 	return conf.Validate()
@@ -243,6 +252,12 @@ type Entry struct {
 // cancellation and timeouts stop the simulator mid-trace, then persist the
 // entry. Store failures are marked Transient so the scheduler's
 // retry-with-backoff gets a chance to ride out disk hiccups.
+//
+// The engine is chosen by the spec's Workers knob, defaulting to the
+// scheduler's CPU-token grant: more than one worker selects the parallel
+// engine (bit-identical Result). The parallel engine pipelines its metric
+// merge and cannot host the mid-replay progress sampler, so a parallel
+// replay trades the sampled progress series for speed.
 func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *progressHub) (*Entry, error) {
 	conf := sp.config()
 	prof, err := sp.profile()
@@ -262,17 +277,33 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 			return nil, err
 		}
 	}
-	smp, err := obs.NewSampler(s.cfg.SampleIntervalMs)
+	workers := sp.Workers
+	if workers == 0 {
+		workers = jobs.Parallelism(ctx)
+	}
+	var (
+		res     *sim.Result
+		samples []obs.Sample
+	)
+	if workers > 1 {
+		res, err = r.ReplayParallelCtx(ctx, reqs, sp.QD, sim.ParallelOptions{Workers: workers})
+	} else {
+		var smp *obs.Sampler
+		smp, err = obs.NewSampler(s.cfg.SampleIntervalMs)
+		if err != nil {
+			return nil, err
+		}
+		smp.SetSink(hub)
+		r.SetSampler(smp)
+		res, err = r.ReplayQDCtx(ctx, reqs, sp.QD)
+		if err == nil {
+			samples = smp.Samples()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	smp.SetSink(hub)
-	r.SetSampler(smp)
-	res, err := r.ReplayQDCtx(ctx, reqs, sp.QD)
-	if err != nil {
-		return nil, err
-	}
-	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), smp.Samples())
+	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), samples)
 	if err != nil {
 		return nil, err
 	}

@@ -78,6 +78,103 @@ func (r *Runner) ReplayCtx(ctx context.Context, reqs []trace.Request) (*Result, 
 	return r.ReplayQDCtx(ctx, reqs, 0)
 }
 
+// reqRecord is everything the metric fold needs to know about one serviced
+// request. The serial engine folds records inline; the parallel engine's
+// merge stage folds the same records in the same (request-index) order, so
+// the two paths produce bit-identical Results by construction.
+type reqRecord struct {
+	op      trace.Op
+	class   trace.Class
+	count   int32
+	lat     float64
+	flushes int64
+	reads   int64
+}
+
+// foldRecord applies one request's observations to the Result. It is the
+// single fold used by both engines — any metric added here is automatically
+// parallel-safe, because the merge stage replays the identical call sequence.
+func (res *Result) foldRecord(buckets *[2][3]*OpClassMetrics, rec reqRecord) {
+	res.Requests++
+	if rec.op == trace.OpWrite {
+		res.WriteCount++
+		res.WriteLatencySum += rec.lat
+		res.WriteLat.Add(rec.lat)
+	} else {
+		res.ReadCount++
+		res.ReadLatencySum += rec.lat
+		res.ReadLat.Add(rec.lat)
+	}
+	b := buckets[rec.op][rec.class]
+	b.Requests++
+	b.Sectors += int64(rec.count)
+	b.LatencySum += rec.lat
+	b.Flushes += rec.flushes
+	b.FlashReads += rec.reads
+}
+
+// beginReplay resets measurement state and prepares the Result with every
+// (direction, class) bucket preallocated, so the replay loop never hashes a
+// map key or allocates a metrics struct. Shared by both engines.
+func (r *Runner) beginReplay() (*Result, *[2][3]*OpClassMetrics) {
+	dev := r.Scheme.Device()
+	dev.ResetMeasurement()
+	if sr, ok := r.Scheme.(statsResetter); ok {
+		sr.ResetStats()
+	}
+	res := &Result{
+		Scheme:       r.Scheme.Name(),
+		ByBucket:     make(map[BucketKey]*OpClassMetrics, 6),
+		WarmupWrites: r.warmupWrites,
+	}
+	buckets := new([2][3]*OpClassMetrics)
+	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
+		for _, class := range []trace.Class{trace.ClassAligned, trace.ClassAcross, trace.ClassUnaligned} {
+			buckets[op][class] = res.Bucket(op, class)
+		}
+	}
+	return res, buckets
+}
+
+// finishReplay collects the end-of-run Result fields that are functions of
+// final device and scheme state. chipBusy supplies the per-chip service
+// times; nil reads them from the scheduler (the serial path — the parallel
+// engine passes its lane-folded totals, which are bit-identical).
+func (r *Runner) finishReplay(res *Result, reqs []trace.Request, chipBusy []float64) {
+	dev := r.Scheme.Device()
+	res.Counters = dev.Count
+	res.TableBytes = r.Scheme.TableBytes()
+	mean, sd, lo, hi := dev.Array.WearStats()
+	res.Wear = WearSummary{Mean: mean, StdDev: sd, Min: lo, Max: hi}
+	if chipBusy != nil {
+		res.ChipBusyMs = chipBusy
+	} else {
+		res.ChipBusyMs = make([]float64, dev.Sched.Chips())
+		for i := range res.ChipBusyMs {
+			res.ChipBusyMs[i] = dev.Sched.BusyTime(i)
+		}
+	}
+	if n := len(reqs); n > 0 {
+		res.TraceSpanMs = reqs[n-1].Time - reqs[0].Time
+		// The measured makespan runs to the device idle horizon: service
+		// (and GC) extends past the last arrival, so utilisation uses this
+		// denominator, not the arrival span.
+		end := dev.Sched.Horizon()
+		if reqs[n-1].Time > end {
+			end = reqs[n-1].Time
+		}
+		res.MeasuredSpanMs = end - reqs[0].Time
+	}
+	switch s := r.Scheme.(type) {
+	case *acrossftl.Scheme:
+		st := s.Stats()
+		res.Across = &st
+		res.CMT = s.CMTStats()
+	case *mrsm.Scheme:
+		res.CMT = s.CMTStats()
+	}
+}
+
 // ReplayQDCtx is ReplayQD with cancellation. The context is polled every
 // cancelCheckMask+1 requests, so long replays driven by a job scheduler can
 // be stopped promptly without the hot path paying a per-request check.
@@ -86,24 +183,7 @@ func (r *Runner) ReplayQDCtx(ctx context.Context, reqs []trace.Request, qd int) 
 		ctx = context.Background()
 	}
 	dev := r.Scheme.Device()
-	dev.ResetMeasurement()
-	if sr, ok := r.Scheme.(statsResetter); ok {
-		sr.ResetStats()
-	}
-
-	res := &Result{
-		Scheme:       r.Scheme.Name(),
-		ByBucket:     make(map[BucketKey]*OpClassMetrics, 6),
-		WarmupWrites: r.warmupWrites,
-	}
-	// Preallocate every (direction, class) bucket and cache the pointers so
-	// the replay loop never hashes a map key or allocates a metrics struct.
-	var buckets [2][3]*OpClassMetrics
-	for _, op := range []trace.Op{trace.OpRead, trace.OpWrite} {
-		for _, class := range []trace.Class{trace.ClassAligned, trace.ClassAcross, trace.ClassUnaligned} {
-			buckets[op][class] = res.Bucket(op, class)
-		}
-	}
+	res, buckets := r.beginReplay()
 	spp := r.Conf.SectorsPerPage()
 	var inflight []float64 // completion times of outstanding requests (QD mode)
 	if qd > 0 {
@@ -181,8 +261,9 @@ func (r *Runner) ReplayQDCtx(ctx context.Context, reqs []trace.Request, qd int) 
 			obsInflight = kept
 			smp.Tick(issue, fill)
 		}
+		class := req.Classify(spp)
 		if trc != nil {
-			trc.RequestStart(int64(i), req.Op == trace.OpWrite, uint8(req.Classify(spp)),
+			trc.RequestStart(int64(i), req.Op == trace.OpWrite, uint8(class),
 				req.Offset, int64(req.Count), int(req.LastLPN(spp)-req.FirstLPN(spp))+1, issue)
 		}
 		var (
@@ -232,22 +313,14 @@ func (r *Runner) ReplayQDCtx(ctx context.Context, reqs []trace.Request, qd int) 
 				obsLastDone = done
 			}
 		}
-		res.Requests++
-		if req.Op == trace.OpWrite {
-			res.WriteCount++
-			res.WriteLatencySum += lat
-			res.WriteLat.Add(lat)
-		} else {
-			res.ReadCount++
-			res.ReadLatencySum += lat
-			res.ReadLat.Add(lat)
-		}
-		b := buckets[req.Op][req.Classify(spp)]
-		b.Requests++
-		b.Sectors += int64(req.Count)
-		b.LatencySum += lat
-		b.Flushes += (dev.Count.DataWrites + dev.Count.GCWrites) - wBefore
-		b.FlashReads += (dev.Count.DataReads + dev.Count.GCReads) - rBefore
+		res.foldRecord(buckets, reqRecord{
+			op:      req.Op,
+			class:   class,
+			count:   int32(req.Count),
+			lat:     lat,
+			flushes: (dev.Count.DataWrites + dev.Count.GCWrites) - wBefore,
+			reads:   (dev.Count.DataReads + dev.Count.GCReads) - rBefore,
+		})
 	}
 
 	if chk != nil {
@@ -256,33 +329,7 @@ func (r *Runner) ReplayQDCtx(ctx context.Context, reqs []trace.Request, qd int) 
 		}
 	}
 
-	res.Counters = dev.Count
-	res.TableBytes = r.Scheme.TableBytes()
-	mean, sd, lo, hi := dev.Array.WearStats()
-	res.Wear = WearSummary{Mean: mean, StdDev: sd, Min: lo, Max: hi}
-	res.ChipBusyMs = make([]float64, dev.Sched.Chips())
-	for i := range res.ChipBusyMs {
-		res.ChipBusyMs[i] = dev.Sched.BusyTime(i)
-	}
-	if n := len(reqs); n > 0 {
-		res.TraceSpanMs = reqs[n-1].Time - reqs[0].Time
-		// The measured makespan runs to the device idle horizon: service
-		// (and GC) extends past the last arrival, so utilisation uses this
-		// denominator, not the arrival span.
-		end := dev.Sched.Horizon()
-		if reqs[n-1].Time > end {
-			end = reqs[n-1].Time
-		}
-		res.MeasuredSpanMs = end - reqs[0].Time
-	}
-	switch s := r.Scheme.(type) {
-	case *acrossftl.Scheme:
-		st := s.Stats()
-		res.Across = &st
-		res.CMT = s.CMTStats()
-	case *mrsm.Scheme:
-		res.CMT = s.CMTStats()
-	}
+	r.finishReplay(res, reqs, nil)
 	if smp != nil {
 		// The run ends when the last completion lands: bus transfers can
 		// finish after the chip-busy horizon, and arrivals can trail the

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"across/internal/clock"
+	"across/internal/trace"
+)
+
+// ParallelOptions configures the parallel replay engine (see ReplayParallel).
+type ParallelOptions struct {
+	// Workers is the number of lane/merge goroutines servicing per-chip
+	// event lanes. <= 0 means GOMAXPROCS; 1 selects the serial engine.
+	Workers int
+	// EpochSpanMs bounds one admission epoch in simulated arrival time:
+	// requests whose trace arrival falls within the span join the epoch.
+	// <= 0 uses the default (5 ms).
+	EpochSpanMs float64
+	// EpochMaxRequests bounds an epoch's size regardless of arrival times
+	// (bursts can pack thousands of arrivals into one simulated
+	// millisecond). <= 0 uses the default (1024).
+	EpochMaxRequests int
+}
+
+const (
+	defaultEpochSpanMs = 5.0
+	defaultEpochMaxReq = 1024
+)
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.EpochSpanMs <= 0 {
+		o.EpochSpanMs = defaultEpochSpanMs
+	}
+	if o.EpochMaxRequests <= 0 {
+		o.EpochMaxRequests = defaultEpochMaxReq
+	}
+	return o
+}
+
+// epochBatch is one admission epoch in flight through the pipeline: the
+// per-request records the merge stage folds, and the per-chip operation
+// lanes the lane workers fold. laneWG synchronises the merge: an epoch's
+// records fold only after every lane has advanced through the epoch.
+type epochBatch struct {
+	seq    int64
+	recs   []reqRecord
+	lanes  [][]clock.Op
+	laneWG sync.WaitGroup
+}
+
+// ReplayParallel replays with the parallel deterministic engine: flash
+// operations are partitioned into per-chip event lanes executed by a worker
+// pool, requests are admitted in bounded simulated-time epochs, and an
+// epoch-synchronised merge folds lane results into the Result. The output is
+// bit-identical to ReplayQDCtx for any worker count and GOMAXPROCS — the
+// determinism matrix in the tests asserts this — so callers choose workers
+// purely on resource grounds. Workers <= 1 selects the serial engine.
+func (r *Runner) ReplayParallel(reqs []trace.Request, qd int, opt ParallelOptions) (*Result, error) {
+	return r.ReplayParallelCtx(context.Background(), reqs, qd, opt)
+}
+
+// ReplayParallelCtx is ReplayParallel with cancellation (polled on epoch
+// admission, like the serial engine's request polling).
+//
+// How determinism is preserved (the full argument is DESIGN.md §11):
+//
+//   - The FTL pass — scheme logic, GC, mapping-cache state — runs on the
+//     calling goroutine in request order, exactly as the serial engine. It
+//     is the only stage that mutates scheme state.
+//   - Every flash operation the pass schedules is captured into its chip's
+//     event lane instead of being accounted inline. Lanes are pinned to
+//     workers (chip modulo workers), so each chip's operations are folded
+//     by one goroutine in epoch order — the same per-chip operation order,
+//     and therefore the same float additions, as the serial path.
+//   - The merge stage folds per-request records strictly in request-index
+//     order using the same foldRecord the serial loop calls, after the
+//     epoch's lanes have completed (epoch synchronisation). Lane
+//     completions within an epoch are totalled in (completion time,
+//     request index, ChipID) order by construction: per-chip order is
+//     schedule order, and the cross-chip horizon is a max, which is
+//     order-insensitive.
+//
+// A replay with a sampler installed falls back to the serial engine: the
+// sampler observes mid-replay aggregate state, which only exists coherently
+// when fold and dispatch interleave. Tracing and verification are
+// unaffected (both run inside the FTL pass, in the serial order).
+func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd int, opt ParallelOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.Workers <= 1 || r.sampler != nil || len(reqs) == 0 {
+		return r.ReplayQDCtx(ctx, reqs, qd)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dev := r.Scheme.Device()
+	res, buckets := r.beginReplay()
+	spp := r.Conf.SectorsPerPage()
+	var inflight []float64
+	if qd > 0 {
+		inflight = make([]float64, 0, qd)
+	}
+
+	trc := r.tracer
+	dev.SetTracer(trc)
+	chk := r.checker
+	if chk != nil {
+		if err := chk.BeginReplay(); err != nil {
+			return nil, fmt.Errorf("sim: arming checker: %w", err)
+		}
+	}
+
+	chips := dev.Sched.Chips()
+	workers := opt.Workers
+	if workers > chips {
+		workers = chips
+	}
+	capture := clock.NewCapture(chips)
+	dev.Sched.SetCapture(capture)
+	defer dev.Sched.SetCapture(nil)
+
+	// Pipeline plumbing. Each epoch batch visits every lane worker (each
+	// folds its own chips) and the merge goroutine; the batch returns to
+	// freeList once merge is done with it. Depth bounds memory: at most
+	// depth epochs are in flight.
+	depth := workers + 2
+	laneChs := make([]chan *epochBatch, workers)
+	for w := range laneChs {
+		laneChs[w] = make(chan *epochBatch, depth)
+	}
+	mergeCh := make(chan *epochBatch, depth)
+	freeList := make(chan *epochBatch, depth)
+	for i := 0; i < depth; i++ {
+		freeList <- &epochBatch{}
+	}
+
+	var (
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+
+	// Lane workers: worker w owns chips w, w+workers, ... Each folds its
+	// chips' operations epoch by epoch; disjoint ownership means no locks,
+	// and fixed ownership means per-chip fold order equals epoch order.
+	laneStates := make([]clock.LaneState, chips)
+	var laneWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		laneWG.Add(1)
+		go func(w int) {
+			defer laneWG.Done()
+			for batch := range laneChs[w] {
+				if !failed.Load() {
+					for c := w; c < chips; c += workers {
+						if err := laneStates[c].Fold(batch.lanes[c]); err != nil {
+							fail(err)
+							break
+						}
+					}
+				}
+				batch.laneWG.Done()
+			}
+		}(w)
+	}
+
+	// Merge: folds each epoch's request records in request-index order once
+	// the epoch's lanes are synchronised, and audits that the completion
+	// horizon advances monotonically across epochs.
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		var horizon float64
+		for batch := range mergeCh {
+			batch.laneWG.Wait() // epoch synchronisation: lanes first
+			if !failed.Load() {
+				epochEnd := horizon
+				for c := 0; c < chips; c++ {
+					if n := len(batch.lanes[c]); n > 0 {
+						if end := batch.lanes[c][n-1].End; end > epochEnd {
+							epochEnd = end
+						}
+					}
+				}
+				if epochEnd < horizon {
+					fail(fmt.Errorf("sim: epoch %d completion horizon moved backwards (%g < %g)",
+						batch.seq, epochEnd, horizon))
+				}
+				horizon = epochEnd
+				for _, rec := range batch.recs {
+					res.foldRecord(buckets, rec)
+				}
+			}
+			freeList <- batch
+		}
+	}()
+
+	// The FTL pass: identical request servicing to the serial engine, with
+	// the fold deferred into per-epoch records.
+	var (
+		batch      *epochBatch
+		epochStart float64
+		seq        int64
+		runErr     error
+	)
+	take := func() {
+		batch = <-freeList
+		if batch.lanes != nil {
+			capture.Recycle(batch.lanes)
+			batch.lanes = nil
+		}
+		batch.recs = batch.recs[:0]
+		batch.seq = seq
+		seq++
+	}
+	dispatch := func() {
+		batch.lanes = capture.Cut()
+		batch.laneWG.Add(workers)
+		for w := 0; w < workers; w++ {
+			laneChs[w] <- batch
+		}
+		mergeCh <- batch
+		batch = nil
+	}
+	take()
+	epochStart = reqs[0].Time
+	done := ctx.Done()
+
+loop:
+	for i, req := range reqs {
+		if i&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				runErr = fmt.Errorf("sim: replay cancelled at request %d/%d: %w", i, len(reqs), ctx.Err())
+				break loop
+			default:
+			}
+			if failed.Load() {
+				break loop
+			}
+		}
+		// Epoch admission: close the epoch when the arrival span or the
+		// request bound is exceeded.
+		if len(batch.recs) >= opt.EpochMaxRequests || req.Time-epochStart > opt.EpochSpanMs {
+			dispatch()
+			take()
+			epochStart = req.Time
+		}
+		issue := req.Time
+		if qd > 0 {
+			for {
+				kept := inflight[:0]
+				earliest := -1.0
+				for _, c := range inflight {
+					if c > issue {
+						kept = append(kept, c)
+						if earliest < 0 || c < earliest {
+							earliest = c
+						}
+					}
+				}
+				inflight = kept
+				if len(inflight) < qd {
+					break
+				}
+				issue = earliest
+			}
+		}
+		class := req.Classify(spp)
+		if trc != nil {
+			trc.RequestStart(int64(i), req.Op == trace.OpWrite, uint8(class),
+				req.Offset, int64(req.Count), int(req.LastLPN(spp)-req.FirstLPN(spp))+1, issue)
+		}
+		var (
+			reqDone float64
+			err     error
+		)
+		wBefore := dev.Count.DataWrites + dev.Count.GCWrites
+		rBefore := dev.Count.DataReads + dev.Count.GCReads
+		switch req.Op {
+		case trace.OpWrite:
+			reqDone, err = r.Scheme.Write(req, issue)
+		case trace.OpRead:
+			reqDone, err = r.Scheme.Read(req, issue)
+		default:
+			err = fmt.Errorf("sim: request %d has unknown op %d", i, req.Op)
+		}
+		if err != nil {
+			runErr = fmt.Errorf("sim: replaying request %d (%v): %w", i, req, err)
+			break loop
+		}
+		if chk != nil {
+			var cerr error
+			if req.Op == trace.OpWrite {
+				cerr = chk.OnWrite(req)
+			} else {
+				cerr = chk.OnRead(req)
+			}
+			if cerr != nil {
+				runErr = fmt.Errorf("sim: verification failed after request %d (%v): %w", i, req, cerr)
+				break loop
+			}
+		}
+		if qd > 0 {
+			inflight = append(inflight, reqDone)
+		}
+		if trc != nil {
+			trc.RequestEnd(int64(i), req.Op == trace.OpWrite, reqDone)
+		}
+		batch.recs = append(batch.recs, reqRecord{
+			op:      req.Op,
+			class:   class,
+			count:   int32(req.Count),
+			lat:     reqDone - req.Time,
+			flushes: (dev.Count.DataWrites + dev.Count.GCWrites) - wBefore,
+			reads:   (dev.Count.DataReads + dev.Count.GCReads) - rBefore,
+		})
+	}
+
+	// Flush the final (possibly partial) epoch, then shut the pipeline down
+	// in dependency order: lanes and merge drain everything dispatched.
+	if batch != nil {
+		if len(batch.recs) > 0 || runErr == nil {
+			dispatch()
+		} else {
+			freeList <- batch
+		}
+	}
+	for w := 0; w < workers; w++ {
+		close(laneChs[w])
+	}
+	laneWG.Wait()
+	close(mergeCh)
+	<-mergeDone
+	dev.Sched.SetCapture(nil)
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if failed.Load() {
+		return nil, fmt.Errorf("sim: parallel replay failed: %w", firstErr)
+	}
+
+	// Determinism self-audit: every lane's folded state must agree with the
+	// scheduler's authoritative timeline before the Result is assembled.
+	var laneOps int64
+	chipBusy := make([]float64, chips)
+	for c := 0; c < chips; c++ {
+		st := &laneStates[c]
+		laneOps += st.Ops
+		chipBusy[c] = st.BusyTime
+		if st.Busy() && st.LastEnd != dev.Sched.BusyUntil(c) {
+			return nil, fmt.Errorf("sim: lane %d diverged from scheduler: last end %g, busy-until %g",
+				c, st.LastEnd, dev.Sched.BusyUntil(c))
+		}
+	}
+	if laneOps != dev.Sched.Ops() {
+		return nil, fmt.Errorf("sim: lanes folded %d operations, scheduler booked %d", laneOps, dev.Sched.Ops())
+	}
+
+	if chk != nil {
+		if err := chk.Finish(); err != nil {
+			return nil, fmt.Errorf("sim: end-of-replay verification failed: %w", err)
+		}
+	}
+	r.finishReplay(res, reqs, chipBusy)
+	return res, nil
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// replaySerial produces the reference Result for a scenario on a fresh
+// (optionally aged) runner.
+func replaySerial(t *testing.T, kind SchemeKind, reqs []trace.Request, qd int, age bool) *Result {
+	t.Helper()
+	r, err := NewRunner(kind, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age {
+		if err := r.Age(DefaultAging()); err != nil {
+			t.Fatalf("%s: Age: %v", kind, err)
+		}
+	}
+	res, err := r.ReplayQD(reqs, qd)
+	if err != nil {
+		t.Fatalf("%s: serial replay: %v", kind, err)
+	}
+	return res
+}
+
+func replayParallel(t *testing.T, kind SchemeKind, reqs []trace.Request, qd, workers int, age bool, opt ParallelOptions) *Result {
+	t.Helper()
+	r, err := NewRunner(kind, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age {
+		if err := r.Age(DefaultAging()); err != nil {
+			t.Fatalf("%s: Age: %v", kind, err)
+		}
+	}
+	opt.Workers = workers
+	res, err := r.ReplayParallel(reqs, qd, opt)
+	if err != nil {
+		t.Fatalf("%s: parallel replay (workers=%d): %v", kind, workers, err)
+	}
+	return res
+}
+
+// assertIdentical asserts two Results are byte-identical, with targeted
+// messages for the fields most likely to diverge under a broken merge.
+func assertIdentical(t *testing.T, serial, parallel *Result, label string) {
+	t.Helper()
+	if reflect.DeepEqual(serial, parallel) {
+		return
+	}
+	t.Errorf("%s: parallel Result diverged from serial", label)
+	if serial.Requests != parallel.Requests {
+		t.Errorf("%s: Requests %d vs %d", label, serial.Requests, parallel.Requests)
+	}
+	if serial.ReadLatencySum != parallel.ReadLatencySum || serial.WriteLatencySum != parallel.WriteLatencySum {
+		t.Errorf("%s: latency sums (%g,%g) vs (%g,%g)", label,
+			serial.ReadLatencySum, serial.WriteLatencySum, parallel.ReadLatencySum, parallel.WriteLatencySum)
+	}
+	if serial.Counters != parallel.Counters {
+		t.Errorf("%s: counters %+v vs %+v", label, serial.Counters, parallel.Counters)
+	}
+	if serial.Wear != parallel.Wear {
+		t.Errorf("%s: wear %+v vs %+v", label, serial.Wear, parallel.Wear)
+	}
+	if !reflect.DeepEqual(serial.ChipBusyMs, parallel.ChipBusyMs) {
+		t.Errorf("%s: chip busy %v vs %v", label, serial.ChipBusyMs, parallel.ChipBusyMs)
+	}
+	for k, sm := range serial.ByBucket {
+		if pm := parallel.ByBucket[k]; pm == nil || *pm != *sm {
+			t.Errorf("%s: bucket %v %+v vs %+v", label, k, sm, parallel.ByBucket[k])
+		}
+	}
+}
+
+// TestParallelMatchesSerialMatrix is the determinism matrix of the parallel
+// engine: every scheme × seed × queue depth × worker count must produce a
+// Result byte-identical to the serial engine — ByBucket metrics, latency
+// histograms, wear counters, per-chip busy time, everything. The matrix
+// shrinks under -short so the -race CI job stays fast.
+func TestParallelMatchesSerialMatrix(t *testing.T) {
+	kinds := append(Kinds(), KindDFTL)
+	seeds := []int64{0, 7}
+	qds := []int{0, 8}
+	workerCounts := []int{1, 2, 4, 8}
+	scale := 0.02
+	if testing.Short() {
+		kinds = []SchemeKind{KindFTL, KindAcross}
+		seeds = seeds[:1]
+		scale = 0.01
+	}
+	for _, seed := range seeds {
+		c := smallConf()
+		p := workload.LunProfiles()[0].Scale(scale)
+		p.Seed += seed
+		reqs, err := workload.Generate(p, c.LogicalSectors())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range kinds {
+			for _, qd := range qds {
+				serial := replaySerial(t, kind, reqs, qd, false)
+				for _, workers := range workerCounts {
+					label := string(kind) + "/seed=" + itoa(seed) + "/qd=" + itoa(int64(qd)) + "/workers=" + itoa(int64(workers))
+					par := replayParallel(t, kind, reqs, qd, workers, false, ParallelOptions{})
+					assertIdentical(t, serial, par, label)
+				}
+			}
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestParallelMatchesSerialGCHeavy replays a write-heavy trace on an aged
+// device — GC, salvage and mapping-cache spills all active — with small
+// epochs so many epoch boundaries land mid-GC-burst.
+func TestParallelMatchesSerialGCHeavy(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	reqs := smallTrace(t, scale)
+	opt := ParallelOptions{EpochSpanMs: 0.5, EpochMaxRequests: 64}
+	for _, kind := range append(Kinds(), KindDFTL) {
+		serial := replaySerial(t, kind, reqs, 0, true)
+		for _, workers := range []int{2, 8} {
+			par := replayParallel(t, kind, reqs, 0, workers, true, opt)
+			assertIdentical(t, serial, par, string(kind)+"/aged/workers="+itoa(int64(workers)))
+		}
+	}
+}
+
+// TestParallelEpochBoundsInsensitive: epoch sizing is a scheduling knob, not
+// a semantic one — degenerate bounds (one-request epochs, giant epochs) must
+// not change the Result.
+func TestParallelEpochBoundsInsensitive(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	serial := replaySerial(t, KindAcross, reqs, 0, false)
+	for _, opt := range []ParallelOptions{
+		{EpochSpanMs: 1e-9, EpochMaxRequests: 1},
+		{EpochSpanMs: 1e12, EpochMaxRequests: 1 << 30},
+		{EpochSpanMs: 0.25, EpochMaxRequests: 17},
+	} {
+		par := replayParallel(t, KindAcross, reqs, 0, 4, false, opt)
+		assertIdentical(t, serial, par, "epoch bounds")
+	}
+}
+
+// TestParallelRepeatedReplays: a runner must support successive parallel
+// replays (capture teardown, measurement reset) just like serial ones.
+func TestParallelRepeatedReplays(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	r, err := NewRunner(KindFTL, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.ReplayParallel(reqs, 0, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.ReplayParallel(reqs, 0, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State carries over (aging semantics), so results differ; but the
+	// second replay must still reconcile lanes with the scheduler and
+	// produce coherent metrics.
+	if first.Requests != second.Requests || second.Counters.FlashWrites() == 0 {
+		t.Fatalf("second parallel replay incoherent: %+v", second.Counters)
+	}
+	// And a serial replay after parallel ones must still work (capture
+	// removed).
+	if _, err := r.Replay(reqs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelCancellation: a cancelled context aborts the parallel replay
+// promptly and tears the pipeline down without leaking goroutines (the
+// -race job would flag unsynchronised teardown).
+func TestParallelCancellation(t *testing.T) {
+	reqs := smallTrace(t, 0.02)
+	r, err := NewRunner(KindAcross, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.ReplayParallelCtx(ctx, reqs, 0, ParallelOptions{Workers: 4}); err == nil {
+		t.Fatal("cancelled parallel replay returned nil error")
+	}
+	// The runner survives: a fresh replay works.
+	if _, err := r.Replay(reqs); err != nil {
+		t.Fatal(err)
+	}
+}
