@@ -42,6 +42,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for outstanding jobs")
 		retries      = flag.Int("retries", 2, "retry attempts for transiently failing jobs")
 		sampleMs     = flag.Float64("sample-interval-ms", 50, "progress sampling interval in simulated ms")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		DefaultTimeout:   *jobTimeout,
 		Retries:          *retries,
 		SampleIntervalMs: *sampleMs,
+		EnablePprof:      *pprofFlag,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "acrossd:", err)
 		os.Exit(1)

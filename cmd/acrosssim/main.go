@@ -29,7 +29,7 @@ func main() {
 		full       = flag.Bool("full", false, "full 128 GiB Table 1 geometry")
 		noAge      = flag.Bool("no-age", false, "skip device aging")
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
-		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine, bit-identical results; incompatible with -metrics-out/-timeline)")
+		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine; results and every -trace-out/-metrics-out/-timeline artifact are bit-identical to -workers=1)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 
 		checkFlag  = flag.Bool("check", false, "verify the replay: shadow model on every request, device audit at end of run")
@@ -135,9 +135,6 @@ func main() {
 	}
 	var smp *across.Sampler
 	if *metricsOut != "" || *timeline != "" {
-		if *workers > 1 {
-			fatal(fmt.Errorf("-workers=%d: the parallel engine cannot host the mid-replay metrics sampler; drop -metrics-out/-timeline or use -workers=1", *workers))
-		}
 		smp, err = across.NewSampler(*metricsInt)
 		if err != nil {
 			fatal(err)

@@ -40,6 +40,20 @@ func (c *Capture) add(chip int, start, dur, end float64) {
 	c.lanes[chip] = append(c.lanes[chip], Op{Chip: int32(chip), Start: start, Dur: dur, End: end})
 }
 
+// Mark appends the current length of every chip lane to dst and returns it.
+// A mark is a per-chip cursor into the epoch in flight: folding each lane up
+// to its cursor reproduces exactly the busy-time state the serial scheduler
+// would hold at the moment the mark was taken, because per-chip capture
+// order is schedule order. The observability merge takes a mark at each
+// sample boundary so mid-epoch metric samples see serial-identical busy
+// times.
+func (c *Capture) Mark(dst []int32) []int32 {
+	for _, lane := range c.lanes {
+		dst = append(dst, int32(len(lane)))
+	}
+	return dst
+}
+
 // Cut detaches the operations captured since the previous Cut — one epoch —
 // and installs fresh (recycled when possible) buffers. The returned slice is
 // indexed by chip and owned by the caller until returned via Recycle.

@@ -1,0 +1,93 @@
+package clock
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCaptureMarkReproducesSerialPrefix is the cursor-semantics contract the
+// observability merge relies on: folding every lane up to a mark reproduces
+// exactly the per-chip busy-time state a serial scheduler would hold at the
+// moment the mark was taken — same float additions, same order.
+func TestCaptureMarkReproducesSerialPrefix(t *testing.T) {
+	const chips = 4
+	ops := []struct {
+		chip int
+		at   float64
+		dur  float64
+	}{
+		{0, 0, 0.3}, {1, 0, 0.7}, {0, 0.1, 0.2}, {2, 0.2, 0.9},
+		{1, 0.4, 0.1}, {3, 0.5, 0.4}, {0, 0.6, 0.8}, {2, 0.9, 0.2},
+	}
+	markAfter := 4 // take the mark after this many ops
+
+	// Serial reference: plain scheduler, stop accumulating at the mark.
+	ref := NewScheduler(chips)
+	refBusy := make([]float64, chips)
+	for i, op := range ops {
+		if i == markAfter {
+			for c := 0; c < chips; c++ {
+				refBusy[c] = ref.BusyTime(c)
+			}
+		}
+		ref.Schedule(op.chip, op.at, op.dur)
+	}
+
+	// Captured run: identical schedule, mark at the same point, fold lanes
+	// to the cursors.
+	s := NewScheduler(chips)
+	cap := NewCapture(chips)
+	s.SetCapture(cap)
+	var mark []int32
+	for i, op := range ops {
+		if i == markAfter {
+			mark = cap.Mark(nil)
+		}
+		s.Schedule(op.chip, op.at, op.dur)
+	}
+	if len(mark) != chips {
+		t.Fatalf("Mark returned %d cursors, want %d", len(mark), chips)
+	}
+	epoch := cap.Cut()
+	states := make([]LaneState, chips)
+	gotBusy := make([]float64, chips)
+	for c := 0; c < chips; c++ {
+		if err := states[c].Fold(epoch[c][:mark[c]]); err != nil {
+			t.Fatalf("fold to mark, chip %d: %v", c, err)
+		}
+		gotBusy[c] = states[c].BusyTime
+	}
+	if !reflect.DeepEqual(gotBusy, refBusy) {
+		t.Errorf("busy at mark = %v, serial reference %v", gotBusy, refBusy)
+	}
+	// Folding the tail completes the epoch: totals and last-ends must agree
+	// with the captured scheduler's authoritative timeline.
+	for c := 0; c < chips; c++ {
+		if err := states[c].Fold(epoch[c][mark[c]:]); err != nil {
+			t.Fatalf("fold tail, chip %d: %v", c, err)
+		}
+		if states[c].Busy() && states[c].LastEnd != s.BusyUntil(c) {
+			t.Errorf("chip %d: folded last end %g, busy-until %g", c, states[c].LastEnd, s.BusyUntil(c))
+		}
+		if states[c].BusyTime != ref.BusyTime(c) {
+			t.Errorf("chip %d: folded busy %g, serial %g", c, states[c].BusyTime, ref.BusyTime(c))
+		}
+	}
+}
+
+// TestCaptureMarkAppends: Mark appends to dst, so a caller can keep one flat
+// cursor buffer per epoch.
+func TestCaptureMarkAppends(t *testing.T) {
+	s := NewScheduler(2)
+	cap := NewCapture(2)
+	s.SetCapture(cap)
+	s.Schedule(0, 0, 1)
+	buf := cap.Mark(nil)
+	s.Schedule(1, 0, 1)
+	s.Schedule(0, 1, 1)
+	buf = cap.Mark(buf)
+	want := []int32{1, 0, 2, 1}
+	if !reflect.DeepEqual(buf, want) {
+		t.Errorf("marks = %v, want %v", buf, want)
+	}
+}

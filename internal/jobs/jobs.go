@@ -220,6 +220,11 @@ type Stats struct {
 	// jobs currently hold (base token plus any weighted extras).
 	CPUTokens     int `json:"cpu_tokens"`
 	GrantedTokens int `json:"granted_tokens"`
+	// Workers and QueueCap echo the scheduler's configured capacities so a
+	// snapshot is interpretable on its own (queued/QueueCap is the
+	// saturation ratio health endpoints report).
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
 }
 
 // Scheduler runs jobs on a bounded worker pool.
@@ -412,6 +417,8 @@ func (s *Scheduler) Stats() Stats {
 	st.Draining = s.draining || s.closed
 	st.CPUTokens = s.opts.CPUTokens
 	st.GrantedTokens = s.running + s.extra
+	st.Workers = s.opts.Workers
+	st.QueueCap = s.opts.QueueCap
 	return st
 }
 

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromText accumulates metric families in the Prometheus text exposition
+// format, version 0.0.4 — the format a Prometheus server scrapes from a
+// /metrics endpoint. Each family is one # HELP line, one # TYPE line and one
+// sample line; families render in the order they were added. The builder is
+// not goroutine-safe: render one response per builder.
+//
+// Conventions are enforced at the render layer so callers cannot emit a
+// malformed page: names must match the Prometheus data model, counters are
+// suffixed _total when the caller has not done so already, and a name may
+// not be emitted twice (duplicate TYPE lines are a scrape error).
+type PromText struct {
+	b    strings.Builder
+	seen map[string]string // family name -> type
+	err  error
+}
+
+// NewPromText builds an empty page.
+func NewPromText() *PromText {
+	return &PromText{seen: make(map[string]string)}
+}
+
+// Counter appends one counter family. The rendered name is suffixed _total
+// unless name already ends with it.
+func (p *PromText) Counter(name, help string, v float64) {
+	if !strings.HasSuffix(name, "_total") {
+		name += "_total"
+	}
+	p.family(name, help, "counter", v)
+}
+
+// Gauge appends one gauge family.
+func (p *PromText) Gauge(name, help string, v float64) {
+	p.family(name, help, "gauge", v)
+}
+
+func (p *PromText) family(name, help, typ string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if !ValidPromName(name) {
+		p.err = fmt.Errorf("obs: invalid metric name %q", name)
+		return
+	}
+	if prev, dup := p.seen[name]; dup {
+		p.err = fmt.Errorf("obs: metric %q emitted twice (first as %s)", name, prev)
+		return
+	}
+	p.seen[name] = typ
+	p.b.WriteString("# HELP ")
+	p.b.WriteString(name)
+	p.b.WriteByte(' ')
+	p.b.WriteString(escapePromHelp(help))
+	p.b.WriteString("\n# TYPE ")
+	p.b.WriteString(name)
+	p.b.WriteByte(' ')
+	p.b.WriteString(typ)
+	p.b.WriteByte('\n')
+	p.b.WriteString(name)
+	p.b.WriteByte(' ')
+	p.b.WriteString(formatPromValue(v))
+	p.b.WriteByte('\n')
+}
+
+// Err returns the first rendering error (nil when the page is well-formed).
+func (p *PromText) Err() error { return p.err }
+
+// WriteTo writes the rendered page.
+func (p *PromText) WriteTo(w io.Writer) (int64, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
+	n, err := io.WriteString(w, p.b.String())
+	return int64(n), err
+}
+
+// String returns the rendered page.
+func (p *PromText) String() string { return p.b.String() }
+
+// ValidPromName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapePromHelp applies the format's HELP escaping: backslash and newline.
+func escapePromHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a sample value. Go's 'g' formatting of finite
+// floats is accepted by the Prometheus parser; the three non-finite values
+// have fixed spellings.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promTypes are the metric types the 0.0.4 format defines.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// ValidateProm checks that b parses as Prometheus text exposition format
+// 0.0.4: well-formed HELP/TYPE comment lines, valid metric names, parseable
+// sample values, at most one TYPE and one HELP per family, TYPE before the
+// family's first sample, and contiguous families (the format forbids
+// interleaving samples of different metrics). It returns the first violation
+// with its 1-based line number. The service tests and the CI smoke validate
+// the daemon's /metrics page with it.
+func ValidateProm(b []byte) error {
+	var (
+		typed    = map[string]string{}
+		helped   = map[string]bool{}
+		sampled  = map[string]bool{}
+		current  string // family of the sample group in progress
+		nsamples int
+	)
+	lines := strings.Split(string(b), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !ValidPromName(fields[2]) {
+					return fmt.Errorf("line %d: malformed HELP line %q", ln, line)
+				}
+				if helped[fields[2]] {
+					return fmt.Errorf("line %d: second HELP for %q", ln, fields[2])
+				}
+				helped[fields[2]] = true
+			case "TYPE":
+				if len(fields) != 4 || !ValidPromName(fields[2]) {
+					return fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !promTypes[typ] {
+					return fmt.Errorf("line %d: unknown metric type %q", ln, typ)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: second TYPE for %q", ln, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", ln, name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		name, rest, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		fam := promFamily(name, typed)
+		if fam != current && sampled[fam] {
+			return fmt.Errorf("line %d: samples of %q are not contiguous", ln, fam)
+		}
+		current = fam
+		sampled[fam] = true
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("line %d: want 'value [timestamp]' after name, got %q", ln, rest)
+		}
+		if _, err := parsePromValue(fields[0]); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", ln, fields[0])
+		}
+		if len(fields) == 2 {
+			if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", ln, fields[1])
+			}
+		}
+		nsamples++
+	}
+	if nsamples == 0 {
+		return fmt.Errorf("no samples in page")
+	}
+	for name, typ := range typed {
+		if !sampled[name] {
+			return fmt.Errorf("family %q declared %s but has no samples", name, typ)
+		}
+	}
+	return nil
+}
+
+// splitPromSample splits one sample line into its metric name and the
+// remainder after the name and optional label block.
+func splitPromSample(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != ' ' && line[i] != '{' {
+		i++
+	}
+	name = line[:i]
+	if !ValidPromName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanPromLabels(rest)
+		if err != nil {
+			return "", "", err
+		}
+		rest = rest[end:]
+	}
+	return name, strings.TrimLeft(rest, " "), nil
+}
+
+// scanPromLabels scans a {label="value",...} block (value escapes: \\ \" \n)
+// and returns the index just past the closing brace.
+func scanPromLabels(s string) (int, error) {
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated label block in %q", s)
+}
+
+// promFamily maps a sample name to its family: histogram and summary
+// families own their _bucket/_sum/_count series.
+func promFamily(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+// parsePromValue accepts what the exposition format does: Go float syntax
+// plus the fixed spellings of the non-finite values.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "NaN", "+Inf", "-Inf", "Inf":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromTextRendersFamilies(t *testing.T) {
+	p := NewPromText()
+	p.Counter("acrossd_jobs_submitted", "Jobs accepted.", 3)
+	p.Counter("acrossd_errors_total", "Already suffixed.", 0)
+	p.Gauge("acrossd_scheduler_queued", "Queued jobs.", 7)
+	p.Gauge("acrossd_waf", "Write amplification.", 1.25)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.String()
+	want := "# HELP acrossd_jobs_submitted_total Jobs accepted.\n" +
+		"# TYPE acrossd_jobs_submitted_total counter\n" +
+		"acrossd_jobs_submitted_total 3\n" +
+		"# HELP acrossd_errors_total Already suffixed.\n" +
+		"# TYPE acrossd_errors_total counter\n" +
+		"acrossd_errors_total 0\n" +
+		"# HELP acrossd_scheduler_queued Queued jobs.\n" +
+		"# TYPE acrossd_scheduler_queued gauge\n" +
+		"acrossd_scheduler_queued 7\n" +
+		"# HELP acrossd_waf Write amplification.\n" +
+		"# TYPE acrossd_waf gauge\n" +
+		"acrossd_waf 1.25\n"
+	if got != want {
+		t.Errorf("rendered page:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateProm([]byte(got)); err != nil {
+		t.Errorf("rendered page fails own validator: %v", err)
+	}
+}
+
+func TestPromTextRejectsMalformed(t *testing.T) {
+	p := NewPromText()
+	p.Gauge("bad name", "spaces are not a metric name", 1)
+	if p.Err() == nil {
+		t.Error("invalid name accepted")
+	}
+	p = NewPromText()
+	p.Gauge("twice", "", 1)
+	p.Gauge("twice", "", 2)
+	if p.Err() == nil {
+		t.Error("duplicate family accepted")
+	}
+	// Counter/gauge clash on the rendered name is also a duplicate.
+	p = NewPromText()
+	p.Counter("clash", "", 1)
+	p.Gauge("clash_total", "", 1)
+	if p.Err() == nil {
+		t.Error("counter/gauge name clash accepted")
+	}
+}
+
+func TestPromTextHelpEscapingAndNonFinite(t *testing.T) {
+	p := NewPromText()
+	p.Gauge("g", "line one\nback\\slash", math.Inf(1))
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.String()
+	if !strings.Contains(got, `# HELP g line one\nback\\slash`) {
+		t.Errorf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, "g +Inf\n") {
+		t.Errorf("+Inf not rendered:\n%s", got)
+	}
+	if err := ValidateProm([]byte(got)); err != nil {
+		t.Errorf("escaped page fails validator: %v", err)
+	}
+}
+
+func TestValidatePromAcceptsRealisticPage(t *testing.T) {
+	page := `# HELP http_requests_total The total number of HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{method="post",code="200"} 1027 1395066363000
+http_requests_total{method="post",code="400"}    3 1395066363000
+
+# Escaping in label values:
+msdos_file_access_time_seconds{path="C:\\DIR\\FILE.TXT",error="Cannot find file:\n\"FILE.TXT\""} 1.458255915e9
+
+# Minimalistic line:
+metric_without_timestamp_and_labels 12.47
+
+# A weird metric from before the epoch:
+something_weird{problem="division by zero"} +Inf -3982045
+
+# A histogram, which has a pretty complex representation in the text format:
+# HELP http_request_duration_seconds A histogram of the request duration.
+# TYPE http_request_duration_seconds histogram
+http_request_duration_seconds_bucket{le="0.05"} 24054
+http_request_duration_seconds_bucket{le="+Inf"} 144320
+http_request_duration_seconds_sum 53423
+http_request_duration_seconds_count 144320
+`
+	if err := ValidateProm([]byte(page)); err != nil {
+		t.Errorf("reference page rejected: %v", err)
+	}
+}
+
+func TestValidatePromRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+	}{
+		{"empty", ""},
+		{"json not prom", `{"counters":{"jobs":1}}`},
+		{"bad value", "m notanumber\n"},
+		{"bad name", "9metric 1\n"},
+		{"double type", "# TYPE m counter\n# TYPE m counter\nm_total 1\nm 1\n"},
+		{"type after sample", "m 1\n# TYPE m counter\n"},
+		{"unknown type", "# TYPE m widget\nm 1\n"},
+		{"interleaved families", "a 1\nb 1\na 2\n"},
+		{"unterminated labels", "m{x=\"y\" 1\n"},
+		{"typed but no samples", "# TYPE m counter\nother 1\n"},
+		{"bad timestamp", "m 1 12.5\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateProm([]byte(tc.page)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -75,6 +75,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Names lists registered series in registration order.
 func (r *Registry) Names() []string { return r.names }
 
+// IsCounter reports whether name is registered as a counter (false for
+// gauges and unregistered names) — renderers use it to pick the exposition
+// type.
+func (r *Registry) IsCounter(name string) bool {
+	_, ok := r.counters[name]
+	return ok
+}
+
 // Snapshot copies every series' current value into dst (allocating it when
 // nil) and returns it.
 func (r *Registry) Snapshot(dst map[string]float64) map[string]float64 {

@@ -19,9 +19,13 @@
 //	GET    /api/v1/jobs/{id}/result           result document (once succeeded)
 //	GET    /api/v1/jobs/{id}/progress         NDJSON stream of metric samples (live + history)
 //	GET    /api/v1/jobs/{id}/artifacts/metrics stored sample series (NDJSON)
+//	GET    /api/v1/jobs/{id}/trace            per-job span log as Chrome trace_event JSON
 //	GET    /api/v1/store                      stored result keys
-//	GET    /metrics                           service counters + scheduler stats
-//	GET    /healthz                           liveness + occupancy
+//	GET    /metrics                           Prometheus text exposition (counters, scheduler, store)
+//	GET    /healthz                           liveness + occupancy (Retry-After when saturated)
+//
+// With Config.EnablePprof the net/http/pprof profiling endpoints are also
+// mounted under /debug/pprof/.
 package service
 
 import (
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -57,6 +62,9 @@ type Config struct {
 	// SampleIntervalMs is the progress-sampling interval in simulated ms
 	// (default 50).
 	SampleIntervalMs float64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — off by
+	// default because the profiling endpoints expose process internals.
+	EnablePprof bool
 }
 
 // jobRecord is the service-level view of one submission.
@@ -69,6 +77,7 @@ type jobRecord struct {
 	job    *jobs.Job    // nil for cache-served records
 	cached bool         // served from the store without running
 	hub    *progressHub // nil for experiment jobs
+	spans  *spanLog     // nil for experiment and cache-served jobs
 
 	submitted time.Time
 }
@@ -154,7 +163,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/metrics", s.handleMetricsArtifact)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /api/v1/store", s.handleStoreKeys)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -174,7 +191,8 @@ type jobStatus struct {
 	FinishedAt  string  `json:"finished_at,omitempty"`
 	DurationMs  float64 `json:"duration_ms,omitempty"`
 
-	Spec json.RawMessage `json:"spec,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Spans []Span          `json:"spans,omitempty"`
 }
 
 func (s *Server) status(rec *jobRecord, deduped bool) jobStatus {
@@ -186,6 +204,9 @@ func (s *Server) status(rec *jobRecord, deduped bool) jobStatus {
 		Deduped:     deduped,
 		Spec:        rec.spec,
 		SubmittedAt: rec.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if rec.spans != nil {
+		st.Spans = rec.spans.Spans()
 	}
 	if rec.cached {
 		st.State = string(jobs.StateSucceeded)
@@ -246,6 +267,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		weight    int
 		run       func(ctx context.Context, key string, hub *progressHub) (*Entry, error)
 		hub       *progressHub
+		spl       *spanLog
 	)
 	switch head.Type {
 	case "replay":
@@ -266,8 +288,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		kind, priority, timeoutMs = "replay", sp.Priority, sp.TimeoutMs
 		weight = sp.Workers
 		hub = newProgressHub()
+		spl = newSpanLog(time.Now())
 		run = func(ctx context.Context, key string, hub *progressHub) (*Entry, error) {
-			return s.runReplay(ctx, key, sp, hub)
+			return s.runReplay(ctx, key, sp, hub, spl)
 		}
 	case "experiment":
 		var sp ExperimentSpec
@@ -310,7 +333,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Then against the store: identical work already completed — possibly
 	// by a previous daemon process — is served without running.
 	if s.store.Has(key) {
-		rec := s.newRecordLocked(key, kind, body, nil, nil)
+		rec := s.newRecordLocked(key, kind, body, nil, nil, nil)
 		rec.cached = true
 		st := s.status(rec, false)
 		s.mu.Unlock()
@@ -336,7 +359,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	rec := s.newRecordLocked(key, kind, body, job, hub)
+	rec := s.newRecordLocked(key, kind, body, job, hub, spl)
 	st := s.status(rec, deduped)
 	s.mu.Unlock()
 
@@ -354,7 +377,7 @@ func strictUnmarshal(b []byte, v any) error {
 }
 
 // newRecordLocked registers a record; caller holds s.mu.
-func (s *Server) newRecordLocked(key, kind string, spec []byte, job *jobs.Job, hub *progressHub) *jobRecord {
+func (s *Server) newRecordLocked(key, kind string, spec []byte, job *jobs.Job, hub *progressHub, spl *spanLog) *jobRecord {
 	s.nextID++
 	rec := &jobRecord{
 		id:        fmt.Sprintf("job-%06d", s.nextID),
@@ -363,6 +386,7 @@ func (s *Server) newRecordLocked(key, kind string, spec []byte, job *jobs.Job, h
 		spec:      json.RawMessage(spec),
 		job:       job,
 		hub:       hub,
+		spans:     spl,
 		submitted: time.Now(),
 	}
 	s.records[rec.id] = rec
@@ -571,31 +595,130 @@ func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"keys": keys, "count": len(keys)})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.regMu.Lock()
-	snap := s.reg.Snapshot(nil)
-	s.regMu.Unlock()
-	names := make([]string, 0, len(snap))
-	for n := range snap {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	ordered := make(map[string]float64, len(snap))
-	for _, n := range names {
-		ordered[n] = snap[n]
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"counters":      ordered,
-		"scheduler":     s.sched.Stats(),
-		"store_entries": s.store.Len(),
-	})
+// metricHelp documents the registry-backed series on the /metrics page;
+// names missing here fall back to a generic line rather than an empty HELP.
+var metricHelp = map[string]string{
+	"jobs_submitted": "Jobs accepted and queued for execution.",
+	"jobs_deduped":   "Submissions answered by a live job with the same content key.",
+	"jobs_cached":    "Submissions served from the result store without running.",
+	"jobs_succeeded": "Jobs that finished successfully.",
+	"jobs_failed":    "Jobs that exhausted their retries and failed.",
+	"jobs_cancelled": "Jobs cancelled before completion.",
 }
+
+// handleMetrics renders the service metrics in Prometheus text exposition
+// format 0.0.4: every obs.Registry series (counters suffixed _total), then
+// scheduler occupancy and store size as gauges, all under the acrossd_
+// namespace. Registry series render in sorted name order so scrapes diff
+// cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := obs.NewPromText()
+	s.regMu.Lock()
+	names := append([]string(nil), s.reg.Names()...)
+	snap := s.reg.Snapshot(nil)
+	counters := make(map[string]bool, len(names))
+	for _, n := range names {
+		counters[n] = s.reg.IsCounter(n)
+	}
+	s.regMu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		help := metricHelp[n]
+		if help == "" {
+			help = "Service series " + n + "."
+		}
+		if counters[n] {
+			p.Counter("acrossd_"+n, help, snap[n])
+		} else {
+			p.Gauge("acrossd_"+n, help, snap[n])
+		}
+	}
+	st := s.sched.Stats()
+	p.Gauge("acrossd_scheduler_queued", "Jobs queued but not yet running.", float64(st.Queued))
+	p.Gauge("acrossd_scheduler_queue_cap", "Queue capacity; submissions beyond it are rejected.", float64(st.QueueCap))
+	p.Gauge("acrossd_scheduler_running", "Jobs currently executing.", float64(st.Running))
+	p.Gauge("acrossd_scheduler_workers", "Worker-pool size bounding concurrent jobs.", float64(st.Workers))
+	p.Gauge("acrossd_scheduler_cpu_tokens", "CPU-token budget weighted jobs draw parallelism from.", float64(st.CPUTokens))
+	p.Gauge("acrossd_scheduler_granted_tokens", "CPU tokens currently held by running jobs.", float64(st.GrantedTokens))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	p.Gauge("acrossd_scheduler_draining", "1 while the scheduler is draining and rejecting submissions.", draining)
+	p.Gauge("acrossd_store_entries", "Entries in the content-addressed result store.", float64(s.store.Len()))
+	if err := p.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering metrics: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}
+
+// healthz is the wire shape of /healthz: liveness plus enough occupancy to
+// steer a load balancer — queue depth against capacity and CPU-token
+// occupancy. Saturated means new submissions would be rejected right now
+// (queue full or draining); the response then carries a Retry-After hint.
+type healthz struct {
+	Status        string  `json:"status"` // ok | saturated | draining
+	Queued        int     `json:"queued"`
+	QueueCap      int     `json:"queue_cap"`
+	QueueFill     float64 `json:"queue_fill"`
+	Running       int     `json:"running"`
+	Workers       int     `json:"workers"`
+	CPUTokens     int     `json:"cpu_tokens"`
+	GrantedTokens int     `json:"granted_tokens"`
+	TokenFill     float64 `json:"token_fill"`
+	Saturated     bool    `json:"saturated"`
+	Draining      bool    `json:"draining"`
+}
+
+// healthzRetryAfterSeconds is the backoff hint sent with a saturated or
+// draining health response.
+const healthzRetryAfterSeconds = "5"
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"queued":  st.Queued,
-		"running": st.Running,
-	})
+	h := healthz{
+		Status:        "ok",
+		Queued:        st.Queued,
+		QueueCap:      st.QueueCap,
+		Running:       st.Running,
+		Workers:       st.Workers,
+		CPUTokens:     st.CPUTokens,
+		GrantedTokens: st.GrantedTokens,
+		Draining:      st.Draining,
+	}
+	if st.QueueCap > 0 {
+		h.QueueFill = float64(st.Queued) / float64(st.QueueCap)
+	}
+	if st.CPUTokens > 0 {
+		h.TokenFill = float64(st.GrantedTokens) / float64(st.CPUTokens)
+	}
+	h.Saturated = st.Queued >= st.QueueCap || st.Draining
+	switch {
+	case st.Draining:
+		h.Status = "draining"
+	case h.Saturated:
+		h.Status = "saturated"
+	}
+	if h.Saturated {
+		w.Header().Set("Retry-After", healthzRetryAfterSeconds)
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleJobTrace renders a replay job's span log as a Chrome trace_event
+// document, loadable in Perfetto alongside the simulated-timeline trace the
+// replay itself can emit.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if rec.spans == nil {
+		writeError(w, http.StatusConflict, "job %s has no span log (experiment or cache-served job)", rec.id)
+		return
+	}
+	writeChromeSpans(w, rec.id, rec.spans.Spans())
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -153,23 +154,72 @@ func TestDoubleSubmitRunsOnce(t *testing.T) {
 		t.Fatalf("post-completion submit = %d %+v", code, third)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	m := scrapeMetrics(t, ts.URL)
+	if m["acrossd_jobs_submitted_total"] != 1 {
+		t.Fatalf("acrossd_jobs_submitted_total = %v, want 1 (dedup must not re-run)", m["acrossd_jobs_submitted_total"])
+	}
+	if m["acrossd_jobs_deduped_total"]+m["acrossd_jobs_cached_total"] < 2 {
+		t.Fatalf("deduped+cached = %v, want >= 2", m["acrossd_jobs_deduped_total"]+m["acrossd_jobs_cached_total"])
+	}
+}
+
+// scrapeMetrics fetches /metrics, validates it as Prometheus text exposition
+// format, and returns the sample values by metric name.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m struct {
-		Counters map[string]float64 `json:"counters"`
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text exposition 0.0.4", ct)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&m)
-	resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Counters["jobs_submitted"] != 1 {
-		t.Fatalf("jobs_submitted = %v, want 1 (dedup must not re-run)", m.Counters["jobs_submitted"])
+	if err := obs.ValidateProm(page); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\npage:\n%s", err, page)
 	}
-	if m.Counters["jobs_deduped"]+m.Counters["jobs_cached"] < 2 {
-		t.Fatalf("deduped+cached = %v, want >= 2", m.Counters["jobs_deduped"]+m.Counters["jobs_cached"])
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(page), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unexpected sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// TestMetricsExposition checks the /metrics page itself: every pre-registered
+// counter appears zeroed with the acrossd_ namespace and _total suffix, and
+// the scheduler and store gauges reflect the configuration.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	m := scrapeMetrics(t, ts.URL)
+	for _, name := range []string{
+		"acrossd_jobs_submitted_total", "acrossd_jobs_deduped_total",
+		"acrossd_jobs_cached_total", "acrossd_jobs_succeeded_total",
+		"acrossd_jobs_failed_total", "acrossd_jobs_cancelled_total",
+	} {
+		if v, ok := m[name]; !ok || v != 0 {
+			t.Errorf("%s = %v, %v; want present and 0 on a fresh server", name, v, ok)
+		}
+	}
+	if m["acrossd_scheduler_workers"] != 4 || m["acrossd_scheduler_queue_cap"] != 512 {
+		t.Errorf("scheduler gauges wrong: workers=%v queue_cap=%v", m["acrossd_scheduler_workers"], m["acrossd_scheduler_queue_cap"])
+	}
+	if _, ok := m["acrossd_store_entries"]; !ok {
+		t.Error("acrossd_store_entries missing")
 	}
 }
 
@@ -455,14 +505,18 @@ func TestHealthzAndStoreKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var hz struct {
-		Status string `json:"status"`
-	}
+	var hz healthz
 	err = json.NewDecoder(resp.Body).Decode(&hz)
-	resp.Body.Close()
 	if err != nil || hz.Status != "ok" {
 		t.Fatalf("healthz: %v %+v", err, hz)
 	}
+	if hz.Workers != 4 || hz.QueueCap != 512 || hz.CPUTokens != 4 {
+		t.Fatalf("healthz capacities wrong: %+v", hz)
+	}
+	if hz.Saturated || hz.Draining || resp.Header.Get("Retry-After") != "" {
+		t.Fatalf("idle server reports saturation: %+v Retry-After=%q", hz, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
 
 	_, st := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(tinyReplay, 5))
 	pollState(t, ts.URL, st.ID, 30*time.Second)
@@ -538,5 +592,211 @@ func TestParallelWorkersReplay(t *testing.T) {
 	}
 	if string(serial) != string(par) {
 		t.Fatalf("parallel result diverged from serial:\n serial: %s\n parallel: %s", serial, par)
+	}
+}
+
+// fetchBytes GETs a path and returns code and body.
+func fetchBytes(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// TestParallelReplayProgressAndArtifact is the service half of the
+// deterministic-telemetry guarantee: a parallel replay job streams progress
+// samples and stores a metrics artifact — byte-identical to the artifact a
+// serial run of the same work stores.
+func TestParallelReplayProgressAndArtifact(t *testing.T) {
+	run := func(spec string) (progress, artifact []byte) {
+		t.Helper()
+		_, ts := newTestServer(t, t.TempDir())
+		defer ts.Close()
+		code, st := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit = %d, want 202", code)
+		}
+		final := pollState(t, ts.URL, st.ID, 30*time.Second)
+		if jobs.State(final.State) != jobs.StateSucceeded {
+			t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+		}
+		// The progress stream replays the full retained history after the
+		// job finished, then ends.
+		_, progress = fetchBytes(t, ts.URL+"/api/v1/jobs/"+st.ID+"/progress")
+		code, artifact = fetchBytes(t, ts.URL+"/api/v1/jobs/"+st.ID+"/artifacts/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("artifact = %d, want 200", code)
+		}
+		return progress, artifact
+	}
+	spec := `{"type":"replay","scheme":"Across-FTL","profile":"lun3","scale":0.05,"seed":11}`
+	parSpec := `{"type":"replay","scheme":"Across-FTL","profile":"lun3","scale":0.05,"seed":11,"workers":4}`
+	serialProg, serialArt := run(spec)
+	parProg, parArt := run(parSpec)
+	if len(bytes.TrimSpace(parProg)) == 0 {
+		t.Fatal("parallel job streamed no progress samples")
+	}
+	if !bytes.Equal(serialProg, parProg) {
+		t.Errorf("parallel progress stream diverged from serial (%d vs %d bytes)", len(serialProg), len(parProg))
+	}
+	if !bytes.Equal(serialArt, parArt) {
+		t.Errorf("parallel metrics artifact diverged from serial (%d vs %d bytes)", len(serialArt), len(parArt))
+	}
+}
+
+// TestJobSpansAndTrace checks the per-job span log: a finished parallel
+// replay reports its phases in the job status and renders them as a Chrome
+// trace_event document, while jobs without a span log (experiments) say so.
+func TestJobSpansAndTrace(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	spec := `{"type":"replay","scheme":"FTL","profile":"lun1","scale":0.002,"seed":12,"age":true,"workers":2}`
+	code, st := postJSON(t, ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	final := pollState(t, ts.URL, st.ID, 30*time.Second)
+	if jobs.State(final.State) != jobs.StateSucceeded {
+		t.Fatalf("job finished %s (error %q)", final.State, final.Error)
+	}
+	got := map[string]Span{}
+	for _, sp := range final.Spans {
+		got[sp.Name] = sp
+		if sp.EndMs < sp.StartMs {
+			t.Errorf("span %s ends before it starts: %+v", sp.Name, sp)
+		}
+	}
+	for _, name := range []string{"queued", "generate", "age", "replay", "store"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("span %q missing; have %+v", name, final.Spans)
+		}
+	}
+	if rp := got["replay"]; rp.Attrs["engine"] != "parallel" || rp.Attrs["workers"] != "2" || rp.Attrs["epoch_span_ms"] == "" {
+		t.Errorf("replay span attrs = %+v, want parallel engine with workers=2 and epoch sizing", rp.Attrs)
+	}
+
+	code, body := fetchBytes(t, ts.URL+"/api/v1/jobs/"+st.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace = %d, want 200", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, body)
+	}
+	if len(doc.TraceEvents) < 5 {
+		t.Fatalf("trace has %d events, want the full phase log", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur < 0 {
+			t.Errorf("bad trace event %+v", ev)
+		}
+	}
+
+	// An experiment job has no span log; the endpoint says so rather than
+	// rendering an empty trace.
+	code, est := postJSON(t, ts.URL+"/api/v1/jobs", `{"type":"experiment","id":"table1","scale":0.05,"no_age":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("experiment submit = %d", code)
+	}
+	pollState(t, ts.URL, est.ID, 30*time.Second)
+	if code, _ := fetchBytes(t, ts.URL+"/api/v1/jobs/"+est.ID+"/trace"); code != http.StatusConflict {
+		t.Errorf("experiment trace = %d, want 409", code)
+	}
+}
+
+// TestHealthzSaturation fills a one-slot queue behind a one-worker pool and
+// requires /healthz to flip to saturated with a Retry-After hint, then to
+// draining once Drain begins.
+func TestHealthzSaturation(t *testing.T) {
+	s, err := New(Config{
+		StoreDir: t.TempDir(),
+		Workers:  1,
+		QueueCap: 1,
+		Backoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	long := `{"type":"replay","scheme":"Across-FTL","profile":"lun1","scale":1.0,"age":true,"seed":%d}`
+	if code, _ := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(long, 13)); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	// Wait until the worker picks the first job up, then occupy the queue.
+	stop := time.Now().Add(10 * time.Second)
+	for s.sched.Stats().Running == 0 {
+		if time.Now().After(stop) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, _ := postJSON(t, ts.URL+"/api/v1/jobs", fmt.Sprintf(long, 14)); code != http.StatusAccepted {
+		t.Fatalf("second submit = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz healthz
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hz.Saturated || hz.Status != "saturated" || hz.Queued < hz.QueueCap {
+		t.Fatalf("healthz with full queue: %+v", hz)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("saturated healthz carries no Retry-After")
+	}
+	if hz.QueueFill < 1 {
+		t.Errorf("queue_fill = %v, want >= 1", hz.QueueFill)
+	}
+	// Close cancels both jobs (so the test never waits out two full
+	// replays) and leaves the scheduler draining.
+	s.Close()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "draining" || !hz.Draining || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("healthz after close: %+v Retry-After=%q", hz, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when enabled.
+func TestPprofGate(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	if code, _ := fetchBytes(t, ts.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof on default server = %d, want 404", code)
+	}
+	s, err := New(Config{StoreDir: t.TempDir(), Workers: 1, EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s.Handler())
+	defer func() {
+		ts2.Close()
+		s.Close()
+	}()
+	code, body := fetchBytes(t, ts2.URL+"/debug/pprof/")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index = %d, body %d bytes", code, len(body))
 	}
 }

@@ -255,10 +255,12 @@ type Entry struct {
 //
 // The engine is chosen by the spec's Workers knob, defaulting to the
 // scheduler's CPU-token grant: more than one worker selects the parallel
-// engine (bit-identical Result). The parallel engine pipelines its metric
-// merge and cannot host the mid-replay progress sampler, so a parallel
-// replay trades the sampled progress series for speed.
-func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *progressHub) (*Entry, error) {
+// engine. Both engines host the progress sampler — the parallel engine
+// drives it from its merge stage with the serial call sequence — so every
+// replay job streams progress and stores its sampled series, bit-identical
+// for any worker count. Each phase is recorded in the job's span log.
+func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *progressHub, spl *spanLog) (*Entry, error) {
+	spl.next("generate")
 	conf := sp.config()
 	prof, err := sp.profile()
 	if err != nil {
@@ -273,6 +275,7 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 		return nil, err
 	}
 	if sp.Age {
+		spl.next("age")
 		if err := r.AgeCtx(ctx, sim.DefaultAging()); err != nil {
 			return nil, err
 		}
@@ -281,35 +284,39 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 	if workers == 0 {
 		workers = jobs.Parallelism(ctx)
 	}
-	var (
-		res     *sim.Result
-		samples []obs.Sample
-	)
+	smp, err := obs.NewSampler(s.cfg.SampleIntervalMs)
+	if err != nil {
+		return nil, err
+	}
+	smp.SetSink(hub)
+	r.SetSampler(smp)
+	spl.next("replay")
+	var res *sim.Result
+	replayAttrs := []string{"engine", "serial", "workers", "1"}
 	if workers > 1 {
-		res, err = r.ReplayParallelCtx(ctx, reqs, sp.QD, sim.ParallelOptions{Workers: workers})
+		opt := sim.ParallelOptions{Workers: workers}
+		res, err = r.ReplayParallelCtx(ctx, reqs, sp.QD, opt)
+		replayAttrs = []string{
+			"engine", "parallel",
+			"workers", fmt.Sprint(workers),
+			"epoch_span_ms", fmt.Sprint(sim.DefaultEpochSpanMs),
+			"epoch_max_requests", fmt.Sprint(sim.DefaultEpochMaxRequests),
+		}
 	} else {
-		var smp *obs.Sampler
-		smp, err = obs.NewSampler(s.cfg.SampleIntervalMs)
-		if err != nil {
-			return nil, err
-		}
-		smp.SetSink(hub)
-		r.SetSampler(smp)
 		res, err = r.ReplayQDCtx(ctx, reqs, sp.QD)
-		if err == nil {
-			samples = smp.Samples()
-		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), samples)
+	spl.next("store", replayAttrs...)
+	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), smp.Samples())
 	if err != nil {
 		return nil, err
 	}
 	if err := s.store.Put(key, entry); err != nil {
 		return nil, jobs.Transient(err)
 	}
+	spl.next("")
 	return entry, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"across/internal/clock"
+	"across/internal/obs"
 	"across/internal/trace"
 )
 
@@ -26,9 +27,11 @@ type ParallelOptions struct {
 	EpochMaxRequests int
 }
 
+// Default epoch sizing, exported so callers (the service layer's job
+// spans) can report the effective epoch bounds of a default-configured run.
 const (
-	defaultEpochSpanMs = 5.0
-	defaultEpochMaxReq = 1024
+	DefaultEpochSpanMs      = 5.0
+	DefaultEpochMaxRequests = 1024
 )
 
 func (o ParallelOptions) withDefaults() ParallelOptions {
@@ -36,23 +39,69 @@ func (o ParallelOptions) withDefaults() ParallelOptions {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.EpochSpanMs <= 0 {
-		o.EpochSpanMs = defaultEpochSpanMs
+		o.EpochSpanMs = DefaultEpochSpanMs
 	}
 	if o.EpochMaxRequests <= 0 {
-		o.EpochMaxRequests = defaultEpochMaxReq
+		o.EpochMaxRequests = DefaultEpochMaxRequests
 	}
 	return o
+}
+
+// obsRecord is the per-request observation the merge stage needs to drive
+// the sampler exactly as the serial engine would: the issue time (Tick
+// argument and in-flight retirement threshold), the completion time (queue
+// depth bookkeeping), the host pages of a write (WAF denominator), and the
+// index of the device snapshot taken at this request's sample boundary
+// (-1: no boundary crossed, the Tick is a cheap no-op).
+type obsRecord struct {
+	issue, done float64
+	pages       int64
+	snapIdx     int32
 }
 
 // epochBatch is one admission epoch in flight through the pipeline: the
 // per-request records the merge stage folds, and the per-chip operation
 // lanes the lane workers fold. laneWG synchronises the merge: an epoch's
-// records fold only after every lane has advanced through the epoch.
+// records fold only after every lane has advanced through the epoch. When a
+// sampler is installed the batch also carries the observation stream: one
+// obsRecord per request, plus the device snapshots and per-chip lane
+// cursors taken at predicted sample boundaries.
 type epochBatch struct {
 	seq    int64
 	recs   []reqRecord
 	lanes  [][]clock.Op
 	laneWG sync.WaitGroup
+
+	obsRecs []obsRecord
+	snaps   []obsSnap
+	marks   []int32 // len(snaps) × chips lane cursors, flattened
+}
+
+// samplerGrid replicates obs.Sampler's boundary arithmetic on the FTL-pass
+// goroutine, so the pass knows — without touching the sampler, which the
+// merge goroutine owns — whether the Tick the merge will later issue for
+// this request emits a sample and therefore needs a device snapshot and a
+// lane mark. The replication is exact: crosses mirrors Sampler.Tick's
+// anchor-then-advance logic over the identical issue-time sequence.
+type samplerGrid struct {
+	interval float64
+	started  bool
+	next     float64
+}
+
+func (g *samplerGrid) crosses(now float64) bool {
+	if !g.started {
+		g.started = true
+		g.next = now + g.interval
+		return false
+	}
+	if now < g.next {
+		return false
+	}
+	for g.next <= now {
+		g.next += g.interval
+	}
+	return true
 }
 
 // ReplayParallel replays with the parallel deterministic engine: flash
@@ -69,11 +118,12 @@ func (r *Runner) ReplayParallel(reqs []trace.Request, qd int, opt ParallelOption
 // ReplayParallelCtx is ReplayParallel with cancellation (polled on epoch
 // admission, like the serial engine's request polling).
 //
-// How determinism is preserved (the full argument is DESIGN.md §11):
+// How determinism is preserved (the full argument is DESIGN.md §11–12):
 //
 //   - The FTL pass — scheme logic, GC, mapping-cache state — runs on the
 //     calling goroutine in request order, exactly as the serial engine. It
-//     is the only stage that mutates scheme state.
+//     is the only stage that mutates scheme state, so tracing and the
+//     checker observe the identical serial event order.
 //   - Every flash operation the pass schedules is captured into its chip's
 //     event lane instead of being accounted inline. Lanes are pinned to
 //     workers (chip modulo workers), so each chip's operations are folded
@@ -86,14 +136,18 @@ func (r *Runner) ReplayParallel(reqs []trace.Request, qd int, opt ParallelOption
 //     request index, ChipID) order by construction: per-chip order is
 //     schedule order, and the cross-chip horizon is a max, which is
 //     order-insensitive.
-//
-// A replay with a sampler installed falls back to the serial engine: the
-// sampler observes mid-replay aggregate state, which only exists coherently
-// when fold and dispatch interleave. Tracing and verification are
-// unaffected (both run inside the FTL pass, in the serial order).
+//   - A sampler, when installed, is driven by the merge stage with the
+//     serial engine's exact call sequence: per-request lane cursors
+//     (clock.Capture.Mark) and pre-dispatch device snapshots let the merge
+//     reproduce, at every sample boundary, the busy times and counters the
+//     serial engine would have observed — so the sample series (and the
+//     -timeline tables derived from it) is byte-identical for any worker
+//     count. With a sampler installed the merge goroutine also owns the
+//     lane folds (it needs the per-chip prefix sums at mid-epoch
+//     boundaries), trading lane-fold parallelism for observability.
 func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd int, opt ParallelOptions) (*Result, error) {
 	opt = opt.withDefaults()
-	if opt.Workers <= 1 || r.sampler != nil || len(reqs) == 0 {
+	if opt.Workers <= 1 || len(reqs) == 0 {
 		return r.ReplayQDCtx(ctx, reqs, qd)
 	}
 	if ctx == nil {
@@ -115,6 +169,7 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 			return nil, fmt.Errorf("sim: arming checker: %w", err)
 		}
 	}
+	smp := r.sampler
 
 	chips := dev.Sched.Chips()
 	workers := opt.Workers
@@ -125,12 +180,21 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 	dev.Sched.SetCapture(capture)
 	defer dev.Sched.SetCapture(nil)
 
+	// With a sampler installed the merge stage folds the lanes itself: it
+	// needs each chip's busy-time prefix sum at arbitrary mid-epoch sample
+	// boundaries, which only exist while folding in mark order.
+	mergeFolds := smp != nil
+	laneWorkers := workers
+	if mergeFolds {
+		laneWorkers = 0
+	}
+
 	// Pipeline plumbing. Each epoch batch visits every lane worker (each
 	// folds its own chips) and the merge goroutine; the batch returns to
 	// freeList once merge is done with it. Depth bounds memory: at most
 	// depth epochs are in flight.
 	depth := workers + 2
-	laneChs := make([]chan *epochBatch, workers)
+	laneChs := make([]chan *epochBatch, laneWorkers)
 	for w := range laneChs {
 		laneChs[w] = make(chan *epochBatch, depth)
 	}
@@ -155,13 +219,13 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 	// and fixed ownership means per-chip fold order equals epoch order.
 	laneStates := make([]clock.LaneState, chips)
 	var laneWG sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < laneWorkers; w++ {
 		laneWG.Add(1)
 		go func(w int) {
 			defer laneWG.Done()
 			for batch := range laneChs[w] {
 				if !failed.Load() {
-					for c := w; c < chips; c += workers {
+					for c := w; c < chips; c += laneWorkers {
 						if err := laneStates[c].Fold(batch.lanes[c]); err != nil {
 							fail(err)
 							break
@@ -173,15 +237,108 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 		}(w)
 	}
 
+	// Observation state owned by the merge goroutine until mergeDone closes,
+	// then read by the closing sample on this goroutine.
+	var (
+		obsInflight      []float64
+		hostPagesWritten int64
+		obsLastDone      float64
+	)
+
 	// Merge: folds each epoch's request records in request-index order once
-	// the epoch's lanes are synchronised, and audits that the completion
-	// horizon advances monotonically across epochs.
+	// the epoch's lanes are synchronised, drives the sampler with the serial
+	// call sequence, and audits that the completion horizon advances
+	// monotonically across epochs.
 	mergeDone := make(chan struct{})
 	go func() {
 		defer close(mergeDone)
-		var horizon float64
+		var (
+			horizon  float64
+			folded   []int32   // per-chip fold cursor within the current epoch
+			busyBuf  []float64 // scratch for the fill callback's busy snapshot
+			curSnap  obsSnap
+			haveSnap bool
+		)
+		var fill func(*obs.Sample)
+		if mergeFolds {
+			folded = make([]int32, chips)
+			busyBuf = make([]float64, chips)
+			fill = func(sm *obs.Sample) {
+				if !haveSnap {
+					fail(fmt.Errorf("sim: sampler emitted at a boundary the FTL pass did not predict (grid divergence)"))
+				}
+				for c := 0; c < chips; c++ {
+					busyBuf[c] = laneStates[c].BusyTime
+				}
+				r.applyObsSnap(sm, res, curSnap, len(obsInflight), hostPagesWritten, busyBuf)
+			}
+		}
+		// foldTo advances every chip's lane fold to the given flat cursor
+		// row (nil: to end of epoch) — the same per-chip op order, and so
+		// the same float additions, as the serial accumulation.
+		foldTo := func(batch *epochBatch, row []int32) bool {
+			for c := 0; c < chips; c++ {
+				to := int32(len(batch.lanes[c]))
+				if row != nil {
+					to = row[c]
+				}
+				if to <= folded[c] {
+					continue
+				}
+				if err := laneStates[c].Fold(batch.lanes[c][folded[c]:to]); err != nil {
+					fail(err)
+					return false
+				}
+				folded[c] = to
+			}
+			return true
+		}
 		for batch := range mergeCh {
 			batch.laneWG.Wait() // epoch synchronisation: lanes first
+			if !failed.Load() {
+				if mergeFolds {
+					for i := range folded {
+						folded[i] = 0
+					}
+					for k := range batch.recs {
+						rec, ob := batch.recs[k], batch.obsRecs[k]
+						if ob.snapIdx >= 0 {
+							if !foldTo(batch, batch.marks[int(ob.snapIdx)*chips:(int(ob.snapIdx)+1)*chips]) {
+								break
+							}
+							curSnap, haveSnap = batch.snaps[ob.snapIdx], true
+						}
+						// The serial observation order per request: retire
+						// the in-flight view, Tick (fill sees state before
+						// this request), fold, Note, then record the
+						// completion.
+						kept := obsInflight[:0]
+						for _, c := range obsInflight {
+							if c > ob.issue {
+								kept = append(kept, c)
+							}
+						}
+						obsInflight = kept
+						smp.Tick(ob.issue, fill)
+						res.foldRecord(buckets, rec)
+						smp.Note(rec.op == trace.OpWrite, rec.lat)
+						if rec.op == trace.OpWrite {
+							hostPagesWritten += ob.pages
+						}
+						obsInflight = append(obsInflight, ob.done)
+						if ob.done > obsLastDone {
+							obsLastDone = ob.done
+						}
+					}
+					if !failed.Load() {
+						foldTo(batch, nil)
+					}
+				} else {
+					for _, rec := range batch.recs {
+						res.foldRecord(buckets, rec)
+					}
+				}
+			}
 			if !failed.Load() {
 				epochEnd := horizon
 				for c := 0; c < chips; c++ {
@@ -196,9 +353,6 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 						batch.seq, epochEnd, horizon))
 				}
 				horizon = epochEnd
-				for _, rec := range batch.recs {
-					res.foldRecord(buckets, rec)
-				}
 			}
 			freeList <- batch
 		}
@@ -219,17 +373,25 @@ func (r *Runner) ReplayParallelCtx(ctx context.Context, reqs []trace.Request, qd
 			batch.lanes = nil
 		}
 		batch.recs = batch.recs[:0]
+		batch.obsRecs = batch.obsRecs[:0]
+		batch.snaps = batch.snaps[:0]
+		batch.marks = batch.marks[:0]
 		batch.seq = seq
 		seq++
 	}
 	dispatch := func() {
 		batch.lanes = capture.Cut()
-		batch.laneWG.Add(workers)
-		for w := 0; w < workers; w++ {
+		batch.laneWG.Add(laneWorkers)
+		for w := 0; w < laneWorkers; w++ {
 			laneChs[w] <- batch
 		}
 		mergeCh <- batch
 		batch = nil
+	}
+	var grid samplerGrid
+	snapAlloc, snapCMT := r.obsSources()
+	if smp != nil {
+		grid = samplerGrid{interval: smp.IntervalMs()}
 	}
 	take()
 	epochStart = reqs[0].Time
@@ -275,6 +437,16 @@ loop:
 				issue = earliest
 			}
 		}
+		// Sample-boundary prediction, at the serial engine's Tick point
+		// (before dispatch): when the merge's Tick for this request will
+		// emit, freeze the device scalars and the per-chip lane cursors it
+		// must observe — state as of requests 0..i-1 only.
+		snapIdx := int32(-1)
+		if smp != nil && grid.crosses(issue) {
+			snapIdx = int32(len(batch.snaps))
+			batch.snaps = append(batch.snaps, r.takeObsSnap(snapAlloc, snapCMT))
+			batch.marks = capture.Mark(batch.marks)
+		}
 		class := req.Classify(spp)
 		if trc != nil {
 			trc.RequestStart(int64(i), req.Op == trace.OpWrite, uint8(class),
@@ -316,6 +488,13 @@ loop:
 		if trc != nil {
 			trc.RequestEnd(int64(i), req.Op == trace.OpWrite, reqDone)
 		}
+		if smp != nil {
+			var pages int64
+			if req.Op == trace.OpWrite {
+				pages = req.LastLPN(spp) - req.FirstLPN(spp) + 1
+			}
+			batch.obsRecs = append(batch.obsRecs, obsRecord{issue: issue, done: reqDone, pages: pages, snapIdx: snapIdx})
+		}
 		batch.recs = append(batch.recs, reqRecord{
 			op:      req.Op,
 			class:   class,
@@ -335,7 +514,7 @@ loop:
 			freeList <- batch
 		}
 	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < laneWorkers; w++ {
 		close(laneChs[w])
 	}
 	laneWG.Wait()
@@ -373,5 +552,32 @@ loop:
 		}
 	}
 	r.finishReplay(res, reqs, chipBusy)
+
+	if smp != nil {
+		// The closing sample, exactly as the serial engine takes it: the
+		// series ends at the latest of the device idle horizon, the last
+		// completion and the last arrival, with the in-flight view drained
+		// to that point. The FTL pass has finished, so live device state is
+		// final state — identical to what the serial engine reads — and the
+		// busy times come from the audited lane folds (the scheduler's own
+		// accumulators were bypassed by the capture).
+		end := dev.Sched.Horizon()
+		if obsLastDone > end {
+			end = obsLastDone
+		}
+		if n := len(reqs); n > 0 && reqs[n-1].Time > end {
+			end = reqs[n-1].Time
+		}
+		kept := obsInflight[:0]
+		for _, c := range obsInflight {
+			if c > end {
+				kept = append(kept, c)
+			}
+		}
+		obsInflight = kept
+		smp.Finish(end, func(sm *obs.Sample) {
+			r.applyObsSnap(sm, res, r.takeObsSnap(snapAlloc, snapCMT), len(obsInflight), hostPagesWritten, chipBusy)
+		})
+	}
 	return res, nil
 }

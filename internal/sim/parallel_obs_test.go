@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"across/internal/obs"
+	"across/internal/report"
+	"across/internal/trace"
+)
+
+// obsArtifacts is everything one observed replay emits: the serialized
+// trace, the metrics NDJSON, the in-memory sample series, and the Result.
+type obsArtifacts struct {
+	res     *Result
+	trace   []byte
+	metrics []byte
+	samples []obs.Sample
+}
+
+// replayWithArtifacts runs one aged-or-not replay with a JSONL (or Chrome)
+// tracer and a metrics sampler attached, through either engine, and returns
+// every artifact for byte comparison.
+func replayWithArtifacts(t *testing.T, kind SchemeKind, reqs []trace.Request, qd, workers int, age, chrome bool, intervalMs float64, opt ParallelOptions) obsArtifacts {
+	t.Helper()
+	r, err := NewRunner(kind, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age {
+		if err := r.Age(DefaultAging()); err != nil {
+			t.Fatalf("%s: Age: %v", kind, err)
+		}
+	}
+	var trcBuf, metBuf bytes.Buffer
+	var trc obs.Tracer
+	if chrome {
+		conf := smallConf()
+		trc = obs.NewChromeTracer(&trcBuf, conf.Chips())
+	} else {
+		trc = obs.NewJSONLTracer(&trcBuf)
+	}
+	r.SetTracer(trc)
+	smp, err := obs.NewSampler(intervalMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewJSONLMetrics(&metBuf)
+	smp.SetSink(sink)
+	r.SetSampler(smp)
+
+	var res *Result
+	if workers > 1 {
+		opt.Workers = workers
+		res, err = r.ReplayParallel(reqs, qd, opt)
+	} else {
+		res, err = r.ReplayQD(reqs, qd)
+	}
+	if err != nil {
+		t.Fatalf("%s: replay (workers=%d): %v", kind, workers, err)
+	}
+	if err := trc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if smp.Err() != nil {
+		t.Fatal(smp.Err())
+	}
+	return obsArtifacts{res: res, trace: trcBuf.Bytes(), metrics: metBuf.Bytes(), samples: smp.Samples()}
+}
+
+// assertArtifactsIdentical diffs two observed replays byte for byte.
+func assertArtifactsIdentical(t *testing.T, serial, parallel obsArtifacts, label string) {
+	t.Helper()
+	assertIdentical(t, serial.res, parallel.res, label)
+	if !bytes.Equal(serial.trace, parallel.trace) {
+		t.Errorf("%s: serialized trace diverged (%d vs %d bytes); first diff at offset %d",
+			label, len(serial.trace), len(parallel.trace), firstDiff(serial.trace, parallel.trace))
+	}
+	if !bytes.Equal(serial.metrics, parallel.metrics) {
+		t.Errorf("%s: metrics NDJSON diverged (%d vs %d bytes); first diff at offset %d",
+			label, len(serial.metrics), len(parallel.metrics), firstDiff(serial.metrics, parallel.metrics))
+	}
+	if !reflect.DeepEqual(serial.samples, parallel.samples) {
+		t.Errorf("%s: sample series diverged (%d vs %d samples)", label, len(serial.samples), len(parallel.samples))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestParallelObservabilityGolden is the deterministic-observability matrix:
+// for every scheme × worker count × epoch sizing, a parallel replay with a
+// JSONL tracer and a metrics sampler attached must produce the identical
+// bytes — execution trace, metrics NDJSON, and in-memory sample series —
+// as the serial engine, not merely the identical Result. A tight sampling
+// interval forces many sample boundaries to land mid-epoch, exercising the
+// merge-stage lane-cursor folds. This test runs under -race in CI's
+// race-concurrency job (the whole internal/sim package does), which is the
+// race check of the merged-sampler path.
+func TestParallelObservabilityGolden(t *testing.T) {
+	kinds := append(Kinds(), KindDFTL)
+	workerCounts := []int{2, 4, 8}
+	epochOpts := []ParallelOptions{
+		{}, // defaults
+		{EpochSpanMs: 0.5, EpochMaxRequests: 64},
+	}
+	scale := 0.02
+	if testing.Short() {
+		kinds = []SchemeKind{KindFTL, KindAcross}
+		workerCounts = []int{4}
+		scale = 0.01
+	}
+	reqs := smallTrace(t, scale)
+	for _, kind := range kinds {
+		serial := replayWithArtifacts(t, kind, reqs, 0, 1, false, false, 5, ParallelOptions{})
+		if len(serial.samples) < 3 {
+			t.Fatalf("%s: serial reference took only %d samples; matrix would prove nothing", kind, len(serial.samples))
+		}
+		for _, workers := range workerCounts {
+			for oi, opt := range epochOpts {
+				label := string(kind) + "/workers=" + itoa(int64(workers)) + "/epochs=" + itoa(int64(oi))
+				par := replayWithArtifacts(t, kind, reqs, 0, workers, false, false, 5, opt)
+				assertArtifactsIdentical(t, serial, par, label)
+			}
+		}
+	}
+}
+
+// TestParallelObservabilityGoldenQDAged covers the harder corners in one
+// pass: queue-depth backpressure (issue times diverge from arrivals, so the
+// sampler's in-flight retirement is exercised) on an aged device (GC spans
+// and map traffic in the trace), compared across both trace formats.
+func TestParallelObservabilityGoldenQDAged(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	reqs := smallTrace(t, scale)
+	for _, chrome := range []bool{false, true} {
+		serial := replayWithArtifacts(t, KindAcross, reqs, 8, 1, true, chrome, 10, ParallelOptions{})
+		par := replayWithArtifacts(t, KindAcross, reqs, 8, 4, true, chrome, 10, ParallelOptions{EpochSpanMs: 1, EpochMaxRequests: 128})
+		label := "Across/qd=8/aged/chrome=" + map[bool]string{false: "no", true: "yes"}[chrome]
+		assertArtifactsIdentical(t, serial, par, label)
+	}
+}
+
+// TestParallelTimelineTablesIdentical locks the last rendering layer: the
+// -timeline tables are a pure function of the sample series, so a parallel
+// replay must render byte-identical latency and utilisation tables.
+func TestParallelTimelineTablesIdentical(t *testing.T) {
+	reqs := smallTrace(t, 0.02)
+	serial := replayWithArtifacts(t, KindMRSM, reqs, 0, 1, false, false, 20, ParallelOptions{})
+	par := replayWithArtifacts(t, KindMRSM, reqs, 0, 4, false, false, 20, ParallelOptions{})
+	render := func(samples []obs.Sample) string {
+		var buf bytes.Buffer
+		report.TimelineLatency(samples).RenderTo(&buf, "text")
+		report.TimelineUtilisation(samples).RenderTo(&buf, "text")
+		return buf.String()
+	}
+	if s, p := render(serial.samples), render(par.samples); s != p {
+		t.Errorf("timeline tables diverged:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+// TestParallelSamplerRepeatedReplays: a runner with a sampler must survive
+// successive parallel replays (observation state, capture and measurement
+// reset) and still agree with a serial re-run of the same sequence.
+func TestParallelSamplerRepeatedReplays(t *testing.T) {
+	reqs := smallTrace(t, 0.01)
+	run := func(workers int) []obs.Sample {
+		r, err := NewRunner(KindFTL, smallConf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series []obs.Sample
+		for i := 0; i < 2; i++ {
+			smp, err := obs.NewSampler(25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.SetSampler(smp)
+			if workers > 1 {
+				if _, err := r.ReplayParallel(reqs, 0, ParallelOptions{Workers: workers}); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := r.ReplayQD(reqs, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			series = append(series, smp.Samples()...)
+		}
+		return series
+	}
+	if s, p := run(1), run(4); !reflect.DeepEqual(s, p) {
+		t.Errorf("repeated sampled replays diverged: %d vs %d samples", len(s), len(p))
+	}
+}
