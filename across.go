@@ -256,6 +256,13 @@ func NewRunnerWithHostCache(s Scheme, cfg Config, cachePages int) (*Runner, erro
 	return &sim.Runner{Conf: &cfg, Kind: s, Scheme: hostcache.Wrap(inner, cachePages)}, nil
 }
 
+// RestoreRunner reconstructs a replay-ready Runner from a warm-state
+// snapshot produced by Runner.Snapshot (DESIGN §13). The snapshot embeds
+// the scheme kind, device configuration and host-cache size, so no other
+// arguments are needed; the restored state is audited before the runner is
+// returned, and a tampered or truncated blob fails with a typed error.
+func RestoreRunner(blob []byte) (*Runner, error) { return sim.Restore(blob) }
+
 // Tracer receives span-style observability events from a replay: request
 // arrivals and completions, flash command service spans, GC victim and
 // collection spans, Across-FTL plan decisions, and cache accesses. Install

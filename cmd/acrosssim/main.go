@@ -32,6 +32,9 @@ func main() {
 		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine; results and every -trace-out/-metrics-out/-timeline artifact are bit-identical to -workers=1)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 
+		snapOut = flag.String("snapshot-out", "", "write a warm-state snapshot of the (aged) device to FILE before replaying")
+		snapIn  = flag.String("snapshot-in", "", "restore the device from a warm-state snapshot instead of building and aging one (-scheme/-page/-full/-no-age/-cachepages come from the snapshot and are ignored)")
+
 		checkFlag  = flag.Bool("check", false, "verify the replay: shadow model on every request, device audit at end of run")
 		auditEvery = flag.Int64("audit-every", 0, "with -check: also run the device-wide audit every N requests (implies -check)")
 
@@ -69,6 +72,23 @@ func main() {
 	}
 	cfg = cfg.WithPageBytes(*pageBytes)
 
+	// A snapshot fixes the device: scheme kind, geometry and host cache all
+	// come from the blob, so restore before trace generation and let the
+	// embedded config drive workload sizing.
+	var r *across.Runner
+	var err error
+	if *snapIn != "" {
+		blob, rerr := os.ReadFile(*snapIn)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		r, err = across.RestoreRunner(blob)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = *r.Conf
+	}
+
 	var reqs []across.Request
 	switch {
 	case *traceFile != "":
@@ -100,20 +120,30 @@ func main() {
 	fmt.Printf("trace  : %d requests, write ratio %.1f%%, avg write %.1f KB, across-page %.1f%%\n",
 		st.Requests, 100*st.WriteRatio(), st.AvgWriteKB(), 100*st.AcrossRatio())
 
-	var r *across.Runner
-	var err error
-	if *cachePages > 0 {
-		r, err = across.NewRunnerWithHostCache(scheme, cfg, *cachePages)
-	} else {
-		r, err = across.NewRunner(scheme, cfg)
-	}
-	if err != nil {
-		fatal(err)
-	}
-	if !*noAge {
-		if err := r.Age(across.DefaultAging()); err != nil {
+	if r == nil {
+		if *cachePages > 0 {
+			r, err = across.NewRunnerWithHostCache(scheme, cfg, *cachePages)
+		} else {
+			r, err = across.NewRunner(scheme, cfg)
+		}
+		if err != nil {
 			fatal(err)
 		}
+		if !*noAge {
+			if err := r.Age(across.DefaultAging()); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *snapOut != "" {
+		blob, err := r.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snapOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot: %d bytes -> %s\n", len(blob), *snapOut)
 	}
 
 	var chk *across.Checker

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// ForkSweepReport is the JSON document of -forksweep mode: the wall-clock
+// amortisation a parameter sweep gains by warming a device once,
+// snapshotting it, and forking every variant from the stored checkpoint —
+// versus the naive sweep that builds and warms a fresh device per variant.
+// This is the same age-once/fork-many shape acrossd applies to jobs sharing
+// an aging key, measured in isolation. Warm-up follows the paper's §4.1
+// recipe — a fill to the target utilisation, then an untimed aging-trace
+// replay — so its cost reflects real preconditioning, not just the fill.
+// ResultsIdentical guards the optimisation's whole premise: a forked replay
+// must be indistinguishable from a fresh-aged one.
+type ForkSweepReport struct {
+	Benchmark     string  `json:"benchmark"`
+	GoVersion     string  `json:"go_version"`
+	GitRevision   string  `json:"git_revision,omitempty"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Device        string  `json:"device"`
+	Scheme        string  `json:"scheme"`
+	TraceRequests int     `json:"trace_requests"`
+	AgingRequests int     `json:"aging_trace_requests"`
+	AgeMs         float64 `json:"age_ms"`
+	SnapshotMs    float64 `json:"snapshot_ms"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+
+	Variants []ForkVariant `json:"variants"`
+
+	BaselineTotalMs  float64 `json:"baseline_total_ms"`
+	ForkTotalMs      float64 `json:"fork_total_ms"`
+	Speedup          float64 `json:"speedup"`
+	ResultsIdentical bool    `json:"results_identical"`
+}
+
+// ForkVariant is one sweep point (a queue-depth setting): the naive cost
+// (fresh device + age + replay) against the forked cost (restore + replay).
+type ForkVariant struct {
+	QD         int     `json:"qd"`
+	BaselineMs float64 `json:"baseline_ms"`
+	RestoreMs  float64 `json:"restore_ms"`
+	ReplayMs   float64 `json:"replay_ms"`
+	ForkMs     float64 `json:"fork_ms"`
+	Identical  bool    `json:"identical"`
+}
+
+// parseQDList parses "-forksweep-qds" ("0,4,8") into queue depths.
+func parseQDList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad qd list entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty qd list")
+	}
+	return out, nil
+}
+
+// forkResultsEqual compares the simulation-visible outcome of two replays:
+// every flash/DRAM counter, the request tally, total simulated I/O time and
+// the wear distribution. Bit-identical results here mean the forked device
+// was in exactly the fresh-aged device's state.
+func forkResultsEqual(a, b *sim.Result) bool {
+	return a.Counters == b.Counters &&
+		a.Requests == b.Requests &&
+		a.ReadCount == b.ReadCount &&
+		a.WriteCount == b.WriteCount &&
+		a.TotalIOTime() == b.TotalIOTime() &&
+		a.Wear == b.Wear
+}
+
+// warmRunner builds a fresh runner and runs the full §4.1 warm-up on it:
+// the utilisation-targeted fill, then the untimed aging-trace replay.
+func warmRunner(kind sim.SchemeKind, conf ssdconf.Config, agingReqs []trace.Request) (*sim.Runner, error) {
+	r, err := sim.NewRunner(kind, conf)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Age(sim.DefaultAging()); err != nil {
+		return nil, err
+	}
+	if err := r.AgeWithTrace(agingReqs); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// runForkSweep builds and emits the fork-from-snapshot amortisation report.
+func runForkSweep(schemeName, qdList string, agingScale float64, out string) error {
+	kind := sim.SchemeKind(schemeName)
+	qds, err := parseQDList(qdList)
+	if err != nil {
+		return err
+	}
+	conf := benchSSD()
+	reqs, err := benchTrace(conf)
+	if err != nil {
+		return err
+	}
+	// The §4.1 aging trace: the write-heavy lun6 profile, generated once and
+	// shared by both legs so warm-up is identical work either way.
+	agingProf, err := workload.LunProfile("lun6")
+	if err != nil {
+		return err
+	}
+	agingReqs, err := workload.Generate(agingProf.Scale(agingScale), conf.LogicalSectors())
+	if err != nil {
+		return err
+	}
+
+	rep := ForkSweepReport{
+		Benchmark:        "ForkSweep",
+		GoVersion:        runtime.Version(),
+		GitRevision:      gitRevision(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Device:           conf.String(),
+		Scheme:           schemeName,
+		TraceRequests:    len(reqs),
+		AgingRequests:    len(agingReqs),
+		ResultsIdentical: true,
+	}
+
+	// Fork leg: warm once, snapshot, then restore+replay per variant.
+	fmt.Fprintf(os.Stderr, "bench: forksweep %s warming once (%d aging requests)...\n", kind, len(agingReqs))
+	start := time.Now()
+	warm, err := warmRunner(kind, conf, agingReqs)
+	if err != nil {
+		return err
+	}
+	rep.AgeMs = msSince(start)
+
+	start = time.Now()
+	blob, err := warm.Snapshot()
+	if err != nil {
+		return err
+	}
+	rep.SnapshotMs = msSince(start)
+	rep.SnapshotBytes = len(blob)
+
+	forked := make([]*sim.Result, len(qds))
+	for i, qd := range qds {
+		fmt.Fprintf(os.Stderr, "bench: forksweep fork qd=%d...\n", qd)
+		v := ForkVariant{QD: qd}
+		start = time.Now()
+		r, err := sim.Restore(blob)
+		if err != nil {
+			return err
+		}
+		v.RestoreMs = msSince(start)
+		start = time.Now()
+		res, err := r.ReplayQD(reqs, qd)
+		if err != nil {
+			return err
+		}
+		v.ReplayMs = msSince(start)
+		v.ForkMs = v.RestoreMs + v.ReplayMs
+		forked[i] = res
+		rep.Variants = append(rep.Variants, v)
+		rep.ForkTotalMs += v.ForkMs
+	}
+	rep.ForkTotalMs += rep.AgeMs + rep.SnapshotMs
+
+	// Baseline leg: fresh device, full warm-up, then replay — per variant.
+	for i, qd := range qds {
+		fmt.Fprintf(os.Stderr, "bench: forksweep baseline qd=%d...\n", qd)
+		start = time.Now()
+		r, err := warmRunner(kind, conf, agingReqs)
+		if err != nil {
+			return err
+		}
+		res, err := r.ReplayQD(reqs, qd)
+		if err != nil {
+			return err
+		}
+		rep.Variants[i].BaselineMs = msSince(start)
+		rep.BaselineTotalMs += rep.Variants[i].BaselineMs
+		rep.Variants[i].Identical = forkResultsEqual(res, forked[i])
+		if !rep.Variants[i].Identical {
+			rep.ResultsIdentical = false
+		}
+	}
+	if rep.ForkTotalMs > 0 {
+		rep.Speedup = rep.BaselineTotalMs / rep.ForkTotalMs
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -204,6 +204,10 @@ func main() {
 	multicore := flag.Bool("multicore", false, "multi-core scaling mode: parallel engine + runner-pool sweep across GOMAXPROCS settings")
 	workersList := flag.String("workers-list", "1,2,4,8", "comma-separated worker counts to sweep (with -multicore)")
 	sweepJobs := flag.Int("sweep-jobs", 0, "independent replay jobs per sweep measurement (with -multicore; 0 = 2x max workers)")
+	forksweep := flag.Bool("forksweep", false, "fork-from-snapshot amortisation mode: age once + snapshot, fork every sweep variant from the checkpoint, versus fresh aging per variant")
+	forksweepScheme := flag.String("forksweep-scheme", "Across-FTL", "scheme to sweep (with -forksweep)")
+	forksweepQDs := flag.String("forksweep-qds", "0,2,4,8", "comma-separated queue-depth variants (with -forksweep)")
+	forksweepAging := flag.Float64("forksweep-aging-scale", 1.0, "scale of the lun6 aging trace replayed during warm-up (with -forksweep)")
 	flag.Parse()
 
 	if *loadgen {
@@ -214,6 +218,12 @@ func main() {
 	}
 	if *multicore {
 		if err := runMulticore(*workersList, *sweepJobs, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *forksweep {
+		if err := runForkSweep(*forksweepScheme, *forksweepQDs, *forksweepAging, *out); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+
+	"across/internal/snapshot"
+)
+
+// SnapshotState appends the LRU's shape (capacity, residency-table mode and
+// key space) followed by the resident keys and dirty bits in MRU→LRU order.
+// The free list is recycled scratch with no observable effect and is not
+// serialised.
+func (l *LRU) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("lru")
+	enc.I64(int64(l.capacity))
+	enc.Bool(l.dense != nil)
+	enc.I64(int64(len(l.dense)))
+	enc.I64(int64(l.size))
+	for n := l.head; n != nil; n = n.next {
+		enc.I64(n.key)
+		enc.Bool(n.dirty)
+	}
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState into an LRU constructed
+// with the same capacity and mode. Shape mismatches are rejected rather
+// than resized: capacity and key space are config-derived, so a divergence
+// means the snapshot belongs to a different configuration (and resizing
+// from decoded values would let hostile snapshots drive allocation).
+func (l *LRU) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("lru")
+	capacity := dec.I64()
+	dense := dec.Bool()
+	keySpace := dec.I64()
+	size := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if capacity != int64(l.capacity) || dense != (l.dense != nil) || keySpace != int64(len(l.dense)) {
+		return fmt.Errorf("cache: snapshot LRU shape (cap %d, dense %v, keyspace %d) does not match receiver (cap %d, dense %v, keyspace %d)",
+			capacity, dense, keySpace, l.capacity, l.dense != nil, len(l.dense))
+	}
+	if size < 0 || size > capacity {
+		return fmt.Errorf("cache: snapshot LRU size %d outside [0,%d]", size, capacity)
+	}
+	type entry struct {
+		key   int64
+		dirty bool
+	}
+	entries := make([]entry, size)
+	for i := range entries {
+		entries[i] = entry{dec.I64(), dec.Bool()}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	// Drop any current residents, then re-insert LRU-first so that Touch
+	// reproduces the recorded recency order exactly.
+	for l.head != nil {
+		l.Remove(l.head.key)
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if l.dense != nil && (e.key < 0 || e.key >= int64(len(l.dense))) {
+			return fmt.Errorf("cache: snapshot LRU key %d outside dense key space [0,%d)", e.key, len(l.dense))
+		}
+		if hit, _, _, evicted := l.Touch(e.key, e.dirty); hit || evicted {
+			return fmt.Errorf("cache: snapshot LRU key %d duplicated", e.key)
+		}
+	}
+	return nil
+}
+
+// SnapshotState appends the CMT's grouping factor, its LRU residency state
+// and the cumulative statistics.
+func (c *CMT) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("cmt")
+	enc.I64(int64(c.entriesPerPage))
+	if err := c.lru.SnapshotState(enc); err != nil {
+		return err
+	}
+	enc.I64(c.stats.Lookups)
+	enc.I64(c.stats.Hits)
+	enc.I64(c.stats.Misses)
+	enc.I64(c.stats.DirtyEvicts)
+	enc.I64(c.stats.CleanEvicts)
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState into a CMT constructed
+// with the same grouping factor and residency budget.
+func (c *CMT) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("cmt")
+	epp := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if epp != int64(c.entriesPerPage) {
+		return fmt.Errorf("cache: snapshot CMT has %d entries/page, receiver has %d", epp, c.entriesPerPage)
+	}
+	if err := c.lru.RestoreState(dec); err != nil {
+		return err
+	}
+	c.stats = CMTStats{
+		Lookups:     dec.I64(),
+		Hits:        dec.I64(),
+		Misses:      dec.I64(),
+		DirtyEvicts: dec.I64(),
+		CleanEvicts: dec.I64(),
+	}
+	return dec.Err()
+}

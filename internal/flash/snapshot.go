@@ -1,0 +1,103 @@
+package flash
+
+import (
+	"fmt"
+
+	"across/internal/snapshot"
+)
+
+// SnapshotState appends the array's complete mutable state: page states and
+// OOB tags, per-block write pointers / valid counts / erase counts, and the
+// device-wide operation totals. The victim index is derived state and is
+// rebuilt on restore rather than serialised (its lazily advanced minBucket
+// lower bound does not affect victim selection, so a rebuilt index is
+// selection-equivalent to the live one).
+func (a *Array) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("flash")
+	states := make([]byte, len(a.state))
+	for i, st := range a.state {
+		states[i] = byte(st)
+	}
+	enc.Bytes(states)
+	kinds := make([]byte, len(a.tags))
+	keys := make([]int64, len(a.tags))
+	aux := make([]int64, len(a.tags))
+	for i, tg := range a.tags {
+		kinds[i], keys[i], aux[i] = tg.Kind, tg.Key, tg.Aux
+	}
+	enc.Bytes(kinds)
+	enc.I64s(keys)
+	enc.I64s(aux)
+	enc.I32s(a.writePtr)
+	enc.I32s(a.validCount)
+	enc.I64s(a.eraseCount)
+	enc.I64(a.erases)
+	enc.I64(a.programs)
+	enc.I64(a.reads)
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState into an array built for
+// the same geometry, validating sizes and per-page/per-block invariants,
+// then rebuilds the victim index from the restored block metadata.
+func (a *Array) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("flash")
+	states := dec.Bytes()
+	kinds := dec.Bytes()
+	keys := dec.I64s()
+	aux := dec.I64s()
+	writePtr := dec.I32s()
+	validCount := dec.I32s()
+	eraseCount := dec.I64s()
+	erases := dec.I64()
+	programs := dec.I64()
+	reads := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	pages, blocks := int(a.Geo.TotalPages()), int(a.Geo.TotalBlocks())
+	if len(states) != pages || len(kinds) != pages || len(keys) != pages || len(aux) != pages {
+		return fmt.Errorf("flash: snapshot page arrays sized %d/%d/%d/%d, geometry has %d pages",
+			len(states), len(kinds), len(keys), len(aux), pages)
+	}
+	if len(writePtr) != blocks || len(validCount) != blocks || len(eraseCount) != blocks {
+		return fmt.Errorf("flash: snapshot block arrays sized %d/%d/%d, geometry has %d blocks",
+			len(writePtr), len(validCount), len(eraseCount), blocks)
+	}
+	for i, st := range states {
+		if PageState(st) > PageInvalid {
+			return fmt.Errorf("flash: snapshot page %d has invalid state %d", i, st)
+		}
+	}
+	ppb := int32(a.Geo.PagesPerBlock)
+	for b := range writePtr {
+		if writePtr[b] < 0 || writePtr[b] > ppb {
+			return fmt.Errorf("flash: snapshot block %d write pointer %d outside [0,%d]", b, writePtr[b], ppb)
+		}
+		if validCount[b] < 0 || validCount[b] > writePtr[b] {
+			return fmt.Errorf("flash: snapshot block %d valid count %d outside [0,%d]", b, validCount[b], writePtr[b])
+		}
+		if eraseCount[b] < 0 {
+			return fmt.Errorf("flash: snapshot block %d negative erase count", b)
+		}
+	}
+
+	for i := range a.state {
+		a.state[i] = PageState(states[i])
+		a.tags[i] = Tag{Kind: kinds[i], Key: keys[i], Aux: aux[i]}
+	}
+	copy(a.writePtr, writePtr)
+	copy(a.validCount, validCount)
+	copy(a.eraseCount, eraseCount)
+	a.erases, a.programs, a.reads = erases, programs, reads
+
+	a.vidx.init(&a.Geo)
+	for b := range a.writePtr {
+		if a.writePtr[b] == ppb {
+			bid := BlockID(b)
+			a.vidx.blockFilled(a.Geo.PlaneOfBlock(bid), bid, int(a.validCount[b]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"across/internal/flash"
+	"across/internal/snapshot"
+)
+
+// SnapshotState appends the allocator's mutable state: the round-robin
+// cursor and, per plane, the free-block stack in exact order (pop order is
+// observable), active and GC-active blocks, and the free-page count. The
+// striping order, thresholds and policy knobs are config-derived and the GC
+// scratch buffers are unobservable, so none of those are serialised.
+func (a *Allocator) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("alloc")
+	enc.I64(int64(a.rr))
+	enc.I64(int64(len(a.planes)))
+	for pl := range a.planes {
+		st := &a.planes[pl]
+		free := make([]int64, len(st.freeBlocks))
+		for i, b := range st.freeBlocks {
+			free[i] = int64(b)
+		}
+		enc.I64s(free)
+		enc.I64(int64(st.active))
+		enc.I64(int64(st.gcActive))
+		enc.I64(st.freePages)
+	}
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState into an allocator built
+// over the same geometry.
+func (a *Allocator) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("alloc")
+	rr := dec.I64()
+	planes := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if planes != int64(len(a.planes)) {
+		return fmt.Errorf("ftl: snapshot allocator has %d planes, device has %d", planes, len(a.planes))
+	}
+	if rr < 0 || rr >= int64(len(a.order)) {
+		return fmt.Errorf("ftl: snapshot allocator round-robin cursor %d outside [0,%d)", rr, len(a.order))
+	}
+	geo := a.dev.Array.Geo
+	for pl := range a.planes {
+		free := dec.I64s()
+		active := dec.I64()
+		gcActive := dec.I64()
+		freePages := dec.I64()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		lo, hi := geo.BlocksOfPlane(flash.PlaneID(pl))
+		st := &a.planes[pl]
+		st.freeBlocks = st.freeBlocks[:0]
+		for _, b := range free {
+			if b < int64(lo) || b >= int64(hi) {
+				return fmt.Errorf("ftl: snapshot free block %d outside plane %d [%d,%d)", b, pl, lo, hi)
+			}
+			st.freeBlocks = append(st.freeBlocks, flash.BlockID(b))
+		}
+		for _, b := range []int64{active, gcActive} {
+			if b != -1 && (b < int64(lo) || b >= int64(hi)) {
+				return fmt.Errorf("ftl: snapshot active block %d outside plane %d [%d,%d)", b, pl, lo, hi)
+			}
+		}
+		if freePages < 0 || freePages > a.pagesPlane {
+			return fmt.Errorf("ftl: snapshot plane %d free pages %d outside [0,%d]", pl, freePages, a.pagesPlane)
+		}
+		st.active = flash.BlockID(active)
+		st.gcActive = flash.BlockID(gcActive)
+		st.freePages = freePages
+	}
+	a.rr = int(rr)
+	return nil
+}
+
+// SnapshotState appends the translation-page location map sorted by page id
+// (map iteration order is nondeterministic; sorting keeps the encoding
+// canonical).
+func (m *MapStore) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("mapstore")
+	ids := make([]int64, 0, len(m.loc))
+	for id := range m.loc {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ppns := make([]int64, len(ids))
+	for i, id := range ids {
+		ppns[i] = int64(m.loc[id])
+	}
+	enc.I64s(ids)
+	enc.I64s(ppns)
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState, rebuilding the map.
+func (m *MapStore) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("mapstore")
+	ids := dec.I64s()
+	ppns := dec.I64s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(ids) != len(ppns) {
+		return fmt.Errorf("ftl: snapshot map store columns sized %d/%d", len(ids), len(ppns))
+	}
+	loc := make(map[int64]flash.PPN, len(ids))
+	for i, id := range ids {
+		if _, dup := loc[id]; dup {
+			return fmt.Errorf("ftl: snapshot map store page %d duplicated", id)
+		}
+		loc[id] = flash.PPN(ppns[i])
+	}
+	m.loc = loc
+	return nil
+}
+
+// SnapshotBase appends the state shared by every scheme: chip and bus
+// timelines, operation counters, the flash array, the allocator and the
+// page mapping table. Schemes embed Base and call this first from their
+// SnapshotState.
+func (b *Base) SnapshotBase(enc *snapshot.Encoder) error {
+	enc.Tag("base")
+	if err := b.Dev.Sched.SnapshotState(enc); err != nil {
+		return err
+	}
+	if err := b.Dev.Bus.SnapshotState(enc); err != nil {
+		return err
+	}
+	c := &b.Dev.Count
+	enc.Tag("counters")
+	enc.I64(c.DataReads)
+	enc.I64(c.DataWrites)
+	enc.I64(c.MapReads)
+	enc.I64(c.MapWrites)
+	enc.I64(c.GCReads)
+	enc.I64(c.GCWrites)
+	enc.I64(c.Erases)
+	enc.I64(c.DRAMAccesses)
+	enc.I64(c.GCInvocations)
+	if err := b.Dev.Array.SnapshotState(enc); err != nil {
+		return err
+	}
+	if err := b.Al.SnapshotState(enc); err != nil {
+		return err
+	}
+	return b.PMT.SnapshotState(enc)
+}
+
+// RestoreBase reads state written by SnapshotBase.
+func (b *Base) RestoreBase(dec *snapshot.Decoder) error {
+	dec.Tag("base")
+	if err := b.Dev.Sched.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := b.Dev.Bus.RestoreState(dec); err != nil {
+		return err
+	}
+	dec.Tag("counters")
+	c := &b.Dev.Count
+	c.DataReads = dec.I64()
+	c.DataWrites = dec.I64()
+	c.MapReads = dec.I64()
+	c.MapWrites = dec.I64()
+	c.GCReads = dec.I64()
+	c.GCWrites = dec.I64()
+	c.Erases = dec.I64()
+	c.DRAMAccesses = dec.I64()
+	c.GCInvocations = dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := b.Dev.Array.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := b.Al.RestoreState(dec); err != nil {
+		return err
+	}
+	return b.PMT.RestoreState(dec)
+}
+
+// SnapshotState implements snapshot.Snapshotter: the baseline FTL has no
+// state beyond the shared Base.
+func (s *Baseline) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("scheme:FTL")
+	return s.SnapshotBase(enc)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (s *Baseline) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("scheme:FTL")
+	if err := s.RestoreBase(dec); err != nil {
+		return err
+	}
+	return dec.Err()
+}
+
+// SnapshotState implements snapshot.Snapshotter for DFTL: Base plus the
+// cached mapping table and the on-flash translation-page locations.
+func (s *DFTL) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("scheme:DFTL")
+	if err := s.SnapshotBase(enc); err != nil {
+		return err
+	}
+	if err := s.cmt.SnapshotState(enc); err != nil {
+		return err
+	}
+	return s.ms.SnapshotState(enc)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (s *DFTL) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("scheme:DFTL")
+	if err := s.RestoreBase(dec); err != nil {
+		return err
+	}
+	if err := s.cmt.RestoreState(dec); err != nil {
+		return err
+	}
+	if err := s.ms.RestoreState(dec); err != nil {
+		return err
+	}
+	return dec.Err()
+}

@@ -1,0 +1,119 @@
+package mapping
+
+import (
+	"fmt"
+
+	"across/internal/flash"
+	"across/internal/snapshot"
+)
+
+// SnapshotState appends the full page mapping table as parallel PPN and
+// AIdx columns.
+func (t *PMT) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("pmt")
+	ppns := make([]int64, len(t.entries))
+	aidx := make([]int32, len(t.entries))
+	for i, e := range t.entries {
+		ppns[i] = int64(e.PPN)
+		aidx[i] = e.AIdx
+	}
+	enc.I64s(ppns)
+	enc.I32s(aidx)
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState into a PMT constructed
+// for the same logical-page count.
+func (t *PMT) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("pmt")
+	ppns := dec.I64s()
+	aidx := dec.I32s()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(ppns) != len(t.entries) || len(aidx) != len(t.entries) {
+		return fmt.Errorf("mapping: snapshot PMT has %d/%d entries, receiver has %d", len(ppns), len(aidx), len(t.entries))
+	}
+	for i := range t.entries {
+		t.entries[i] = PMTEntry{PPN: flash.PPN(ppns[i]), AIdx: aidx[i]}
+	}
+	return nil
+}
+
+// SnapshotState appends the across-page mapping table: the entry pool as
+// parallel columns, the in-use bitmap, the free list in exact order (indices
+// are recycled pop-from-end, so order is observable), and the live/peak
+// counters.
+func (a *AMT) SnapshotState(enc *snapshot.Encoder) error {
+	enc.Tag("amt")
+	lpns := make([]int64, len(a.entries))
+	offs := make([]int32, len(a.entries))
+	sizes := make([]int32, len(a.entries))
+	appns := make([]int64, len(a.entries))
+	inUse := make([]byte, len(a.entries))
+	for i, e := range a.entries {
+		lpns[i], offs[i], sizes[i] = e.LPN, e.Off, e.Size
+		appns[i] = int64(e.APPN)
+		if a.inUse[i] {
+			inUse[i] = 1
+		}
+	}
+	enc.I64s(lpns)
+	enc.I32s(offs)
+	enc.I32s(sizes)
+	enc.I64s(appns)
+	enc.Bytes(inUse)
+	enc.I32s(a.free)
+	enc.I64(int64(a.live))
+	enc.I64(int64(a.peak))
+	return nil
+}
+
+// RestoreState reads state written by SnapshotState, rebuilding the entry
+// pool (the AMT grows by appending, so a fresh receiver starts empty).
+func (a *AMT) RestoreState(dec *snapshot.Decoder) error {
+	dec.Tag("amt")
+	lpns := dec.I64s()
+	offs := dec.I32s()
+	sizes := dec.I32s()
+	appns := dec.I64s()
+	inUse := dec.Bytes()
+	free := dec.I32s()
+	live := dec.I64()
+	peak := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	n := len(lpns)
+	if len(offs) != n || len(sizes) != n || len(appns) != n || len(inUse) != n {
+		return fmt.Errorf("mapping: snapshot AMT columns sized %d/%d/%d/%d/%d", n, len(offs), len(sizes), len(appns), len(inUse))
+	}
+	liveCount := 0
+	for i, u := range inUse {
+		if u > 1 {
+			return fmt.Errorf("mapping: snapshot AMT in-use byte %d is %d", i, u)
+		}
+		if u == 1 {
+			liveCount++
+		}
+	}
+	if int64(liveCount) != live || live > peak || int64(len(free))+live != int64(n) {
+		return fmt.Errorf("mapping: snapshot AMT accounting inconsistent (live %d, counted %d, peak %d, free %d, slots %d)",
+			live, liveCount, peak, len(free), n)
+	}
+	for _, f := range free {
+		if f < 0 || int(f) >= n || inUse[f] == 1 {
+			return fmt.Errorf("mapping: snapshot AMT free index %d invalid", f)
+		}
+	}
+	a.entries = make([]AMTEntry, n)
+	a.inUse = make([]bool, n)
+	for i := range a.entries {
+		a.entries[i] = AMTEntry{LPN: lpns[i], Off: offs[i], Size: sizes[i], APPN: flash.PPN(appns[i])}
+		a.inUse[i] = inUse[i] == 1
+	}
+	a.free = append([]int32(nil), free...)
+	a.live = int(live)
+	a.peak = int(peak)
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 
 	"across/internal/jobs"
 	"across/internal/obs"
+	"across/internal/sim"
 	"across/internal/store"
 )
 
@@ -96,6 +97,12 @@ type Server struct {
 	byKey   map[string]*jobRecord
 	order   []string
 	nextID  uint64
+
+	// flightMu guards aging: one lock per aging-checkpoint key, so
+	// concurrent jobs that share a warm state age it exactly once and the
+	// rest fork from the stored snapshot (see ReplaySpec.AgingKey).
+	flightMu sync.Mutex
+	aging    map[string]*sync.Mutex
 }
 
 // New builds a Server (opening or creating its store) and starts its worker
@@ -121,15 +128,61 @@ func New(cfg Config) (*Server, error) {
 		reg:     obs.NewRegistry(),
 		records: make(map[string]*jobRecord),
 		byKey:   make(map[string]*jobRecord),
+		aging:   make(map[string]*sync.Mutex),
 	}
 	// Pre-register so /metrics always shows every series, zeroed.
 	for _, name := range []string{
 		"jobs_submitted", "jobs_deduped", "jobs_cached",
 		"jobs_succeeded", "jobs_failed", "jobs_cancelled",
+		"snapshot_ages", "snapshot_restores",
 	} {
 		s.counter(name, 0)
 	}
 	return s, nil
+}
+
+// agingFlight serialises work on one aging-checkpoint key and returns the
+// release function. Per-key mutexes live for the server's lifetime; the
+// key space is one entry per distinct (scheme, config, aging) tuple, so
+// the map stays small.
+func (s *Server) agingFlight(key string) func() {
+	s.flightMu.Lock()
+	m, ok := s.aging[key]
+	if !ok {
+		m = &sync.Mutex{}
+		s.aging[key] = m
+	}
+	s.flightMu.Unlock()
+	m.Lock()
+	return m.Unlock
+}
+
+// loadAgingSnapshot fetches a stored warm-state checkpoint, or nil when the
+// key is absent or the entry is not a usable snapshot for the scheme.
+func (s *Server) loadAgingSnapshot(key, scheme string) []byte {
+	var e SnapshotEntry
+	ok, err := s.store.Get(key, &e)
+	if err != nil || !ok {
+		return nil
+	}
+	if e.Kind != "snapshot" || e.Scheme != scheme || len(e.Blob) == 0 {
+		return nil
+	}
+	return e.Blob
+}
+
+// ageAndStore runs the aging phase and checkpoints the warm state under the
+// aging key. Snapshot or store failures are deliberately non-fatal: the job
+// still has its aged device in hand, later jobs just re-age.
+func (s *Server) ageAndStore(ctx context.Context, r *sim.Runner, key, scheme string) error {
+	if err := r.AgeCtx(ctx, sim.DefaultAging()); err != nil {
+		return err
+	}
+	s.counter("snapshot_ages", 1)
+	if blob, err := r.Snapshot(); err == nil {
+		_ = s.store.Put(key, &SnapshotEntry{Key: key, Kind: "snapshot", Scheme: scheme, Blob: blob})
+	}
+	return nil
 }
 
 // Store returns the server's result store.
@@ -598,12 +651,14 @@ func (s *Server) handleStoreKeys(w http.ResponseWriter, r *http.Request) {
 // metricHelp documents the registry-backed series on the /metrics page;
 // names missing here fall back to a generic line rather than an empty HELP.
 var metricHelp = map[string]string{
-	"jobs_submitted": "Jobs accepted and queued for execution.",
-	"jobs_deduped":   "Submissions answered by a live job with the same content key.",
-	"jobs_cached":    "Submissions served from the result store without running.",
-	"jobs_succeeded": "Jobs that finished successfully.",
-	"jobs_failed":    "Jobs that exhausted their retries and failed.",
-	"jobs_cancelled": "Jobs cancelled before completion.",
+	"jobs_submitted":    "Jobs accepted and queued for execution.",
+	"jobs_deduped":      "Submissions answered by a live job with the same content key.",
+	"jobs_cached":       "Submissions served from the result store without running.",
+	"jobs_succeeded":    "Jobs that finished successfully.",
+	"jobs_failed":       "Jobs that exhausted their retries and failed.",
+	"jobs_cancelled":    "Jobs cancelled before completion.",
+	"snapshot_ages":     "Aging runs executed and checkpointed (one per aging key).",
+	"snapshot_restores": "Replay jobs forked from a stored aging checkpoint.",
 }
 
 // handleMetrics renders the service metrics in Prometheus text exposition

@@ -115,6 +115,32 @@ func (sp *ReplaySpec) Key() (string, error) {
 	}{keyVersion, "replay/" + sp.Scheme, sp.config(), prof, sp.QD, sp.Age})
 }
 
+// AgingKey is the content address of the warm state this spec's aging
+// phase produces: a hash over the scheme, the full device configuration and
+// the aging recipe — and nothing else. Aging (sim.DefaultAging) is
+// workload-independent, so profile/scale/seed do not belong here; neither
+// do measurement knobs (qd) nor scheduling knobs (workers, priority,
+// timeout), which must never fragment checkpoint reuse. Every job whose
+// AgingKey matches forks from one cached checkpoint instead of re-aging.
+func (sp *ReplaySpec) AgingKey() (string, error) {
+	return store.HashJSON(struct {
+		V     int
+		Kind  string
+		Conf  ssdconf.Config
+		Aging sim.Aging
+	}{keyVersion, "aging/" + sp.Scheme, sp.config(), sim.DefaultAging()})
+}
+
+// SnapshotEntry is one stored aging checkpoint: the warm-state container
+// (sim.Snapshot) for a (scheme, config, aging) tuple, keyed by AgingKey in
+// the same content-addressed store as job results.
+type SnapshotEntry struct {
+	Key    string `json:"key"`
+	Kind   string `json:"kind"` // "snapshot"
+	Scheme string `json:"scheme"`
+	Blob   []byte `json:"blob"`
+}
+
 // ExperimentSpec is the submit-body of an experiment job: one paper
 // artifact (table/figure id) regenerated through an experiments.Session.
 type ExperimentSpec struct {
@@ -274,11 +300,36 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 	if err != nil {
 		return nil, err
 	}
+	var agingAttrs []string
 	if sp.Age {
-		spl.next("age")
-		if err := r.AgeCtx(ctx, sim.DefaultAging()); err != nil {
+		akey, err := sp.AgingKey()
+		if err != nil {
 			return nil, err
 		}
+		agingAttrs = []string{"aging_key", akey}
+		// One aging run per checkpoint key: concurrent jobs sharing the
+		// key queue on the flight lock, and all but the first find the
+		// stored snapshot and fork from it.
+		unlock := s.agingFlight(akey)
+		restored := false
+		if warm := s.loadAgingSnapshot(akey, sp.Scheme); warm != nil {
+			spl.next("restore")
+			// An unusable checkpoint (decode error, scheme/config drift)
+			// is not fatal — the job falls back to aging from scratch.
+			if r2, err := sim.Restore(warm); err == nil && r2.Kind == sim.SchemeKind(sp.Scheme) && *r2.Conf == conf {
+				r = r2
+				restored = true
+				s.counter("snapshot_restores", 1)
+			}
+		}
+		if !restored {
+			spl.next("age")
+			if err := s.ageAndStore(ctx, r, akey, sp.Scheme); err != nil {
+				unlock()
+				return nil, err
+			}
+		}
+		unlock()
 	}
 	workers := sp.Workers
 	if workers == 0 {
@@ -290,7 +341,7 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 	}
 	smp.SetSink(hub)
 	r.SetSampler(smp)
-	spl.next("replay")
+	spl.next("replay", agingAttrs...)
 	var res *sim.Result
 	replayAttrs := []string{"engine", "serial", "workers", "1"}
 	if workers > 1 {

@@ -1,0 +1,118 @@
+// Warm-state snapshots (DESIGN §13): Runner.Snapshot serialises the
+// complete mutable simulator state — scheme mapping structures, flash
+// array, allocator/GC state, DRAM caches, host cache, chip and bus clocks,
+// and the aging bookkeeping — into a self-describing versioned container;
+// Restore reconstructs a replay-ready Runner from it. A sweep can therefore
+// age a device once per (config, aging) pair and fork every variant replay
+// from the checkpoint instead of re-aging.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"across/internal/check"
+	"across/internal/hostcache"
+	"across/internal/snapshot"
+	"across/internal/ssdconf"
+)
+
+// Snapshot serialises the runner's full simulator state. The scheme (and,
+// when wrapped, the host cache and its inner scheme) must implement
+// snapshot.Snapshotter; every scheme built by NewScheme does. Observers
+// (tracer, sampler, checker) are replay-scoped and not captured.
+func (r *Runner) Snapshot() ([]byte, error) {
+	snap, ok := r.Scheme.(snapshot.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: scheme %s does not support snapshots", r.Scheme.Name())
+	}
+	confJSON, err := json.Marshal(r.Conf)
+	if err != nil {
+		return nil, fmt.Errorf("sim: snapshot config: %w", err)
+	}
+	enc := snapshot.NewEncoder()
+	enc.Tag("sim")
+	enc.Str(string(r.Kind))
+	enc.Str(string(confJSON))
+	cachePages := 0
+	if hc, ok := r.Scheme.(*hostcache.Scheme); ok {
+		cachePages = hc.CachePages()
+	}
+	enc.I64(int64(cachePages))
+	enc.Bool(r.warmed)
+	enc.I64(r.warmupWrites)
+	if err := snap.SnapshotState(enc); err != nil {
+		return nil, err
+	}
+	return enc.Finish()
+}
+
+// Restore reconstructs a replay-ready Runner from a snapshot produced by
+// Snapshot: it validates the container, rebuilds the scheme stack from the
+// embedded configuration (including a host-cache wrap when one was
+// captured), restores every component's state, and then runs the device
+// auditor over the result — a snapshot whose state violates the mapping/
+// flash invariants (tampered, or from a buggy writer) is rejected rather
+// than replayed. Schemes that cannot be audited skip that final check.
+//
+// Restore supports schemes as built by NewScheme; a snapshot taken from a
+// scheme constructed with non-default structural options (e.g. a custom
+// DFTL resident-page budget) fails the shape validation cleanly.
+func Restore(blob []byte) (*Runner, error) {
+	dec, err := snapshot.NewDecoder(blob)
+	if err != nil {
+		return nil, err
+	}
+	dec.Tag("sim")
+	kind := SchemeKind(dec.Str())
+	confJSON := dec.Str()
+	cachePages := dec.I64()
+	warmed := dec.Bool()
+	warmupWrites := dec.I64()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	var conf ssdconf.Config
+	if err := json.Unmarshal([]byte(confJSON), &conf); err != nil {
+		return nil, fmt.Errorf("sim: snapshot config: %w", err)
+	}
+	if err := conf.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: snapshot config: %w", err)
+	}
+	if warmupWrites < 0 {
+		return nil, fmt.Errorf("sim: snapshot has negative warm-up writes %d", warmupWrites)
+	}
+	if cachePages < 0 || cachePages > conf.LogicalPages() {
+		return nil, fmt.Errorf("sim: snapshot host cache of %d pages outside [0,%d]", cachePages, conf.LogicalPages())
+	}
+	scheme, err := NewScheme(kind, &conf)
+	if err != nil {
+		return nil, err
+	}
+	if cachePages > 0 {
+		scheme = hostcache.Wrap(scheme, int(cachePages))
+	}
+	snap, ok := scheme.(snapshot.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sim: scheme %s does not support snapshots", scheme.Name())
+	}
+	if err := snap.RestoreState(dec); err != nil {
+		return nil, err
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		Conf:         &conf,
+		Kind:         kind,
+		Scheme:       scheme,
+		warmed:       warmed,
+		warmupWrites: warmupWrites,
+	}
+	if chk, err := check.New(scheme, check.Options{}); err == nil {
+		if err := chk.Audit(); err != nil {
+			return nil, fmt.Errorf("sim: restored state failed audit: %w", err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"across/internal/ftl"
+	"across/internal/hostcache"
+	"across/internal/obs"
+	"across/internal/report"
+	"across/internal/snapshot"
+	"across/internal/trace"
+)
+
+// snapKinds is the differential matrix: every scheme, plus the host-cache
+// wrap (whose own residency state must also survive the round trip).
+func snapKinds() []SchemeKind { return append(Kinds(), KindDFTL) }
+
+// newSnapRunner builds a runner, optionally host-cache wrapped.
+func newSnapRunner(t *testing.T, kind SchemeKind, cachePages int) *Runner {
+	t.Helper()
+	r, err := NewRunner(kind, smallConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachePages > 0 {
+		r.Scheme = hostcache.Wrap(r.Scheme, cachePages)
+	}
+	return r
+}
+
+// replayObserved replays reqs and returns the result plus the metrics
+// NDJSON and rendered timeline tables the run produced.
+func replaySnapObserved(t *testing.T, r *Runner, reqs []trace.Request, qd, workers int) (*Result, string, string) {
+	t.Helper()
+	smp, err := obs.NewSampler(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ndjson bytes.Buffer
+	smp.SetSink(obs.NewJSONLMetrics(&ndjson))
+	r.SetSampler(smp)
+	var res *Result
+	if workers > 1 {
+		res, err = r.ReplayParallel(reqs, qd, ParallelOptions{Workers: workers})
+	} else {
+		res, err = r.ReplayQD(reqs, qd)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.Err() != nil {
+		t.Fatal(smp.Err())
+	}
+	var tables strings.Builder
+	report.TimelineLatency(smp.Samples()).RenderTo(&tables, "csv")
+	report.TimelineUtilisation(smp.Samples()).RenderTo(&tables, "csv")
+	return res, ndjson.String(), tables.String()
+}
+
+// The headline guarantee: age→snapshot→restore→replay is indistinguishable
+// from the uninterrupted age→replay run — Results, metrics NDJSON and
+// timeline tables byte for byte — for every scheme, under both the serial
+// and the parallel engine.
+func TestSnapshotDifferentialMatrix(t *testing.T) {
+	for _, kind := range snapKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			reqs := smallTrace(t, 0.02)
+
+			cont := newSnapRunner(t, kind, 0)
+			if err := cont.Age(DefaultAging()); err != nil {
+				t.Fatal(err)
+			}
+			wantRes, wantMetrics, wantTables := replaySnapObserved(t, cont, reqs, 8, 1)
+
+			snapped := newSnapRunner(t, kind, 0)
+			if err := snapped.Age(DefaultAging()); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := snapped.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, workers := range []int{1, 3} {
+				restored, err := Restore(blob)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				label := fmt.Sprintf("restored-workers-%d", workers)
+				gotRes, gotMetrics, gotTables := replaySnapObserved(t, restored, reqs, 8, workers)
+				assertIdentical(t, wantRes, gotRes, label)
+				if gotMetrics != wantMetrics {
+					t.Errorf("%s: metrics NDJSON differs from continuous run", label)
+				}
+				if gotTables != wantTables {
+					t.Errorf("%s: timeline tables differ from continuous run", label)
+				}
+			}
+		})
+	}
+}
+
+// Snapshots taken mid-age must resume to the same state: aging the first
+// half of a trace, snapshotting, restoring and aging the second half is
+// equivalent to aging the whole trace in one run.
+func TestSnapshotMidAgingDifferential(t *testing.T) {
+	for _, kind := range snapKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			agingReqs := smallTrace(t, 0.03)
+			measure := smallTrace(t, 0.01)
+			half := len(agingReqs) / 2
+
+			cont := newSnapRunner(t, kind, 0)
+			if err := cont.AgeWithTrace(agingReqs); err != nil {
+				t.Fatal(err)
+			}
+			wantRes, err := cont.ReplayQD(measure, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			interrupted := newSnapRunner(t, kind, 0)
+			if err := interrupted.AgeWithTrace(agingReqs[:half]); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := interrupted.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Restore(blob)
+			if err != nil {
+				t.Fatalf("Restore mid-age: %v", err)
+			}
+			if err := restored.AgeWithTrace(agingReqs[half:]); err != nil {
+				t.Fatal(err)
+			}
+			gotRes, err := restored.ReplayQD(measure, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, wantRes, gotRes, "resumed-aging")
+		})
+	}
+}
+
+// Round-trip property: encode→decode→encode is byte-identical, for bare and
+// host-cache-wrapped runners.
+func TestSnapshotRoundTripByteEqual(t *testing.T) {
+	for _, tc := range []struct {
+		kind       SchemeKind
+		cachePages int
+	}{
+		{KindFTL, 0}, {KindMRSM, 0}, {KindAcross, 0}, {KindDFTL, 0},
+		{KindAcross, 64}, {KindFTL, 32},
+	} {
+		name := string(tc.kind)
+		if tc.cachePages > 0 {
+			name += "+cache"
+		}
+		t.Run(name, func(t *testing.T) {
+			r := newSnapRunner(t, tc.kind, tc.cachePages)
+			if err := r.Age(DefaultAging()); err != nil {
+				t.Fatal(err)
+			}
+			// Replay a little traffic so caches and clocks hold
+			// non-trivial state beyond what aging leaves.
+			if _, err := r.ReplayQD(smallTrace(t, 0.005), 4); err != nil {
+				t.Fatal(err)
+			}
+			b1, err := r.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Restore(b1)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			b2, err := restored.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("snapshot round trip not byte-identical (%d vs %d bytes)", len(b1), len(b2))
+			}
+		})
+	}
+}
+
+// Restored runners keep their aged status: Age refuses to run again, and
+// AgedState reports the warmed device.
+func TestRestoreKeepsAgedState(t *testing.T) {
+	r := newSnapRunner(t, KindFTL, 0)
+	if err := r.Age(DefaultAging()); err != nil {
+		t.Fatal(err)
+	}
+	wantUsed, wantValid := r.AgedState()
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Age(DefaultAging()); err == nil {
+		t.Error("restored runner re-aged without complaint")
+	}
+	gotUsed, gotValid := restored.AgedState()
+	if gotUsed != wantUsed || gotValid != wantValid {
+		t.Errorf("AgedState = (%v, %v), want (%v, %v)", gotUsed, gotValid, wantUsed, wantValid)
+	}
+}
+
+// Container-level tampering: bit flips, truncation and version skew are all
+// rejected with the right typed error.
+func TestRestoreRejectsTamperedContainer(t *testing.T) {
+	r := newSnapRunner(t, KindFTL, 0)
+	if err := r.Age(DefaultAging()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Restore(flipped); err == nil {
+		t.Error("bit-flipped snapshot restored")
+	}
+
+	if _, err := Restore(blob[:len(blob)/3]); err == nil {
+		t.Error("truncated snapshot restored")
+	}
+	if _, err := Restore(blob[:4]); !errors.Is(err, snapshot.ErrTruncated) {
+		t.Errorf("header-truncated snapshot: err = %v, want ErrTruncated", err)
+	}
+
+	skewed := append([]byte(nil), blob...)
+	skewed[4]++ // bump the format version's low byte
+	if _, err := Restore(skewed); !errors.Is(err, snapshot.ErrVersion) {
+		t.Errorf("version-skewed snapshot: err = %v, want ErrVersion", err)
+	}
+
+	if _, err := Restore([]byte("not a snapshot at all")); err == nil {
+		t.Error("garbage restored")
+	}
+}
+
+// State-level tampering: a snapshot that decodes cleanly but violates the
+// mapping/flash invariants (here: two LPNs claiming one physical page) must
+// fail the automatic post-restore audit.
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	r := newSnapRunner(t, KindFTL, 0)
+	if err := r.Age(DefaultAging()); err != nil {
+		t.Fatal(err)
+	}
+	bl, ok := r.Scheme.(*ftl.Baseline)
+	if !ok {
+		t.Fatalf("scheme is %T, want *ftl.Baseline", r.Scheme)
+	}
+	// Aging maps LPNs sequentially, so 0 and 1 are both mapped; aliasing
+	// LPN 0 onto LPN 1's page breaks the ownership bijection.
+	bl.PMT.SetPPN(0, bl.PMT.PPNOf(1))
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(blob); err == nil {
+		t.Fatal("corrupt-state snapshot passed the post-restore audit")
+	} else if !strings.Contains(err.Error(), "audit") {
+		t.Errorf("err = %v, want an audit failure", err)
+	}
+}
+
+// Fresh (un-aged) runners snapshot too — the format does not assume a
+// warmed device.
+func TestSnapshotFreshRunner(t *testing.T) {
+	r := newSnapRunner(t, KindAcross, 0)
+	blob, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := smallTrace(t, 0.005)
+	want, err := r.ReplayQD(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ReplayQD(reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, want, got, "fresh")
+}

@@ -1,0 +1,439 @@
+// Package snapshot implements the versioned binary codec for warm-state
+// simulator snapshots. A snapshot captures the complete mutable state of an
+// aged device — flash array, mapping tables, allocator and GC state, DRAM
+// caches, host cache and chip clocks — so that a sweep can age once and fork
+// every variant replay from the checkpoint instead of re-aging (DESIGN §13).
+//
+// Container layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "AXSN"
+//	4       4     format version (currently 1)
+//	8       4     flags (bit 0: body is DEFLATE-compressed)
+//	12      8     uncompressed body length in bytes
+//	20      32    SHA-256 of the uncompressed body
+//	52      ...   body (compressed when flag bit 0 is set)
+//
+// The body is a flat sequence of fixed-width primitives and length-prefixed
+// slices produced by Encoder and consumed by Decoder. Section tags (Tag)
+// are embedded as strings and verified on decode, so a structural mismatch
+// between writer and reader fails loudly instead of misinterpreting bytes.
+//
+// Determinism: every encoder input is produced in a canonical order
+// (map-backed state is serialised sorted by key), DEFLATE at a fixed level
+// is deterministic for a given input, and the checksum covers the
+// uncompressed body — so encode→decode→encode reproduces the container
+// byte for byte. The decoder is hardened against hostile inputs (fuzzed by
+// FuzzSnapshotDecode): it never allocates from header-claimed sizes beyond
+// what the input actually contains, bounds every read, and returns typed
+// errors instead of panicking.
+package snapshot
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the snapshot format version written by this package. Decoders
+// reject any other version with ErrVersion.
+const Version = 1
+
+const (
+	magic      = "AXSN"
+	headerSize = 4 + 4 + 4 + 8 + sha256.Size
+
+	flagCompressed = 1 << 0
+	knownFlags     = flagCompressed
+
+	// maxBody bounds the uncompressed body length a decoder will accept.
+	// A full Table 1 device serialises to well under 1 GiB; the cap stops
+	// decompression bombs long before they hurt.
+	maxBody = 1 << 31
+)
+
+// Typed decode errors. Errors returned by Decoder methods and NewDecoder
+// wrap one of these sentinels.
+var (
+	// ErrTruncated: the container is shorter than its header or its body
+	// ends mid-stream.
+	ErrTruncated = errors.New("snapshot: truncated container")
+	// ErrFormat: bad magic, unknown flags, or an implausible body length.
+	ErrFormat = errors.New("snapshot: not a snapshot container")
+	// ErrVersion: a well-formed container written by an incompatible
+	// format version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrCorrupt: checksum mismatch, or a structural inconsistency inside
+	// the body (bad section tag, out-of-bounds length, trailing bytes).
+	ErrCorrupt = errors.New("snapshot: corrupt body")
+)
+
+// Snapshotter is implemented by every state-owning component that
+// participates in a snapshot, mirroring check.Auditable: SnapshotState
+// appends the component's complete mutable state to the encoder and
+// RestoreState reads it back into a freshly constructed (same-config)
+// receiver. Restore must validate sizes against the receiver's
+// config-derived structure rather than allocating from decoded values.
+type Snapshotter interface {
+	SnapshotState(enc *Encoder) error
+	RestoreState(dec *Decoder) error
+}
+
+// Encoder builds a snapshot body. Methods never fail; Finish seals the
+// container (checksum + compression + header) and returns the blob.
+type Encoder struct {
+	body bytes.Buffer
+	tmp  [8]byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+func (e *Encoder) u32(v uint32) {
+	binary.LittleEndian.PutUint32(e.tmp[:4], v)
+	e.body.Write(e.tmp[:4])
+}
+
+func (e *Encoder) u64(v uint64) {
+	binary.LittleEndian.PutUint64(e.tmp[:8], v)
+	e.body.Write(e.tmp[:8])
+}
+
+// Tag writes a named section marker. Decoders verify the same name at the
+// same position, catching writer/reader drift.
+func (e *Encoder) Tag(name string) { e.Str(name) }
+
+// Bool writes a boolean as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.body.WriteByte(1)
+	} else {
+		e.body.WriteByte(0)
+	}
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) { e.body.WriteByte(v) }
+
+// I32 writes a fixed-width 32-bit integer.
+func (e *Encoder) I32(v int32) { e.u32(uint32(v)) }
+
+// I64 writes a fixed-width 64-bit integer.
+func (e *Encoder) I64(v int64) { e.u64(uint64(v)) }
+
+// F64 writes an IEEE-754 double.
+func (e *Encoder) F64(v float64) { e.u64(math.Float64bits(v)) }
+
+// Str writes a length-prefixed UTF-8 string.
+func (e *Encoder) Str(s string) {
+	e.u32(uint32(len(s)))
+	e.body.WriteString(s)
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (e *Encoder) Bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.body.Write(b)
+}
+
+// I32s writes a length-prefixed []int32.
+func (e *Encoder) I32s(v []int32) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+// I64s writes a length-prefixed []int64.
+func (e *Encoder) I64s(v []int64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u64(uint64(x))
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (e *Encoder) F64s(v []float64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u64(math.Float64bits(x))
+	}
+}
+
+// Finish seals the body into a self-describing container: header with
+// version, flags, uncompressed length and SHA-256 of the uncompressed body,
+// followed by the DEFLATE-compressed body.
+func (e *Encoder) Finish() ([]byte, error) {
+	raw := e.body.Bytes()
+	if len(raw) > maxBody {
+		return nil, fmt.Errorf("%w: body %d bytes exceeds %d", ErrFormat, len(raw), maxBody)
+	}
+	sum := sha256.Sum256(raw)
+
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, headerSize+comp.Len())
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, flagCompressed)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(raw)))
+	out = append(out, sum[:]...)
+	out = append(out, comp.Bytes()...)
+	return out, nil
+}
+
+// Decoder reads a snapshot body with a sticky error: after the first
+// failure every subsequent read returns a zero value and Err/Finish report
+// the original cause. Callers may therefore decode a whole section and
+// check the error once.
+type Decoder struct {
+	body []byte
+	off  int
+	err  error
+}
+
+// NewDecoder validates the container (magic, version, flags, length,
+// checksum), decompresses the body, and returns a decoder positioned at the
+// first byte. Hostile inputs yield a typed error, never a panic, and
+// decompression work is bounded by the declared (capped) body length.
+func NewDecoder(blob []byte) (*Decoder, error) {
+	if len(blob) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrTruncated, len(blob), headerSize)
+	}
+	if string(blob[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, blob[:4])
+	}
+	version := binary.LittleEndian.Uint32(blob[4:8])
+	if version != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, version, Version)
+	}
+	flags := binary.LittleEndian.Uint32(blob[8:12])
+	if flags&^uint32(knownFlags) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrFormat, flags)
+	}
+	ulen := binary.LittleEndian.Uint64(blob[12:20])
+	if ulen > maxBody {
+		return nil, fmt.Errorf("%w: implausible body length %d", ErrFormat, ulen)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], blob[20:20+sha256.Size])
+
+	var body []byte
+	payload := blob[headerSize:]
+	if flags&flagCompressed != 0 {
+		// Decompress at most ulen+1 bytes: a body that overruns its
+		// declared length is rejected without inflating further, so a
+		// decompression bomb costs no more than the cap.
+		fr := flate.NewReader(bytes.NewReader(payload))
+		var buf bytes.Buffer
+		n, err := io.Copy(&buf, io.LimitReader(fr, int64(ulen)+1))
+		fr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		if uint64(n) != ulen {
+			return nil, fmt.Errorf("%w: body is %d bytes, header says %d", ErrCorrupt, n, ulen)
+		}
+		body = buf.Bytes()
+	} else {
+		if uint64(len(payload)) != ulen {
+			return nil, fmt.Errorf("%w: body is %d bytes, header says %d", ErrCorrupt, len(payload), ulen)
+		}
+		body = payload
+	}
+	if sha256.Sum256(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &Decoder{body: body}, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish reports the sticky error, or ErrCorrupt if decoding stopped short
+// of the body's end (trailing bytes mean writer/reader drift).
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.body) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.body)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s (offset %d)", ErrCorrupt, fmt.Sprintf(format, args...), d.off)
+	}
+}
+
+// need returns the next n body bytes, or nil after arming the sticky error.
+func (d *Decoder) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.body)-d.off < n {
+		d.fail("need %d bytes, %d remain", n, len(d.body)-d.off)
+		return nil
+	}
+	b := d.body[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// count reads a u64 length prefix for elements of elemSize bytes, bounding
+// it by the bytes actually remaining so hostile prefixes cannot drive
+// allocation.
+func (d *Decoder) count(elemSize int) int {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	n := binary.LittleEndian.Uint64(b)
+	if n > uint64((len(d.body)-d.off)/elemSize) {
+		d.fail("length %d exceeds remaining body", n)
+		return 0
+	}
+	return int(n)
+}
+
+// Tag consumes a section marker and fails the decode if it does not match.
+func (d *Decoder) Tag(want string) {
+	got := d.Str()
+	if d.err == nil && got != want {
+		d.fail("section tag %q, want %q", got, want)
+	}
+}
+
+// Bool reads a boolean; any byte other than 0 or 1 is corrupt.
+func (d *Decoder) Bool() bool {
+	b := d.need(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail("bad bool byte %#x", b[0])
+	return false
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// I32 reads a fixed-width 32-bit integer.
+func (d *Decoder) I32() int32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(b))
+}
+
+// I64 reads a fixed-width 64-bit integer.
+func (d *Decoder) I64() int64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// F64 reads an IEEE-754 double.
+func (d *Decoder) F64() float64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	b := d.need(4)
+	if b == nil {
+		return ""
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > uint32(len(d.body)-d.off) {
+		d.fail("string length %d exceeds remaining body", n)
+		return ""
+	}
+	return string(d.need(int(n)))
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the body).
+func (d *Decoder) Bytes() []byte {
+	n := d.count(1)
+	b := d.need(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// I32s reads a length-prefixed []int32.
+func (d *Decoder) I32s() []int32 {
+	n := d.count(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.I32()
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64.
+func (d *Decoder) I64s() []int64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.I64()
+	}
+	return out
+}
+
+// F64s reads a length-prefixed []float64.
+func (d *Decoder) F64s() []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}

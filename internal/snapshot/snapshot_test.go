@@ -1,0 +1,255 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// writeSample encodes one of every primitive and returns the sealed blob.
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	e := NewEncoder()
+	e.Tag("sample")
+	e.Bool(true)
+	e.Bool(false)
+	e.U8(0xAB)
+	e.I32(-7)
+	e.I64(1 << 40)
+	e.F64(3.5)
+	e.Str("hello, snapshot")
+	e.Bytes([]byte{1, 2, 3})
+	e.I32s([]int32{-1, 0, 1})
+	e.I64s([]int64{-9, 9})
+	e.F64s([]float64{0.25, -0.5})
+	blob, err := e.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return blob
+}
+
+func TestRoundTripPrimitives(t *testing.T) {
+	blob := writeSample(t)
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	d.Tag("sample")
+	if !d.Bool() || d.Bool() {
+		t.Error("bool mismatch")
+	}
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("u8 = %#x", got)
+	}
+	if got := d.I32(); got != -7 {
+		t.Errorf("i32 = %d", got)
+	}
+	if got := d.I64(); got != 1<<40 {
+		t.Errorf("i64 = %d", got)
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Errorf("f64 = %v", got)
+	}
+	if got := d.Str(); got != "hello, snapshot" {
+		t.Errorf("str = %q", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if got := d.I32s(); len(got) != 3 || got[0] != -1 || got[2] != 1 {
+		t.Errorf("i32s = %v", got)
+	}
+	if got := d.I64s(); len(got) != 2 || got[0] != -9 || got[1] != 9 {
+		t.Errorf("i64s = %v", got)
+	}
+	if got := d.F64s(); len(got) != 2 || got[0] != 0.25 || got[1] != -0.5 {
+		t.Errorf("f64s = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+// Encoding is deterministic: the same writes always seal to the same bytes.
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := writeSample(t), writeSample(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical encodes differ")
+	}
+}
+
+func TestDecoderRejectsTruncatedContainer(t *testing.T) {
+	blob := writeSample(t)
+	for _, n := range []int{0, 1, 4, headerSize - 1} {
+		if _, err := NewDecoder(blob[:n]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+	// Truncating the compressed payload corrupts the stream.
+	if _, err := NewDecoder(blob[:len(blob)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecoderRejectsBadMagic(t *testing.T) {
+	blob := writeSample(t)
+	blob[0] = 'Z'
+	if _, err := NewDecoder(blob); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestDecoderRejectsVersionSkew(t *testing.T) {
+	blob := writeSample(t)
+	binary.LittleEndian.PutUint32(blob[4:8], Version+1)
+	if _, err := NewDecoder(blob); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecoderRejectsUnknownFlags(t *testing.T) {
+	blob := writeSample(t)
+	binary.LittleEndian.PutUint32(blob[8:12], 0x80)
+	if _, err := NewDecoder(blob); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestDecoderRejectsChecksumFlip(t *testing.T) {
+	blob := writeSample(t)
+	blob[20] ^= 0xFF // first checksum byte
+	if _, err := NewDecoder(blob); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecoderRejectsImplausibleLength(t *testing.T) {
+	blob := writeSample(t)
+	binary.LittleEndian.PutUint64(blob[12:20], maxBody+1)
+	if _, err := NewDecoder(blob); !errors.Is(err, ErrFormat) {
+		t.Errorf("err = %v, want ErrFormat", err)
+	}
+}
+
+// A wrong section tag, hostile length prefixes and over-reads all arm the
+// sticky error instead of panicking, and zero values come back after it.
+func TestDecoderStickyError(t *testing.T) {
+	e := NewEncoder()
+	e.Tag("alpha")
+	e.I64(42)
+	blob, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Tag("beta") // mismatch arms the error
+	if d.Err() == nil {
+		t.Fatal("tag mismatch not detected")
+	}
+	if got := d.I64(); got != 0 {
+		t.Errorf("post-error I64 = %d, want 0", got)
+	}
+	if err := d.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Finish = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecoderRejectsHostileSliceLength(t *testing.T) {
+	e := NewEncoder()
+	e.I64s([]int64{1})
+	blob, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the honest slice's length prefix as a scalar, leaving one
+	// element (8 bytes) in the body; then claim a huge slice.
+	if n := d.I64(); n != 1 {
+		t.Fatalf("length prefix = %d", n)
+	}
+	if got := d.I64s(); got != nil { // 8 bytes left: prefix consumed, no room for data
+		t.Errorf("hostile slice = %v", got)
+	}
+	if d.Err() == nil {
+		t.Error("hostile slice length not detected")
+	}
+}
+
+func TestDecoderRejectsTrailingBytes(t *testing.T) {
+	e := NewEncoder()
+	e.I64(1)
+	e.I64(2)
+	blob, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.I64()
+	if err := d.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Finish = %v, want ErrCorrupt (trailing bytes)", err)
+	}
+}
+
+func TestDecoderRejectsBadBool(t *testing.T) {
+	e := NewEncoder()
+	e.U8(7)
+	blob, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bool(); d.Err() == nil {
+		t.Error("bool byte 7 accepted")
+	}
+}
+
+func TestDecoderUncompressedBody(t *testing.T) {
+	// Hand-build an uncompressed container (flags = 0).
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint64(body, 99)
+	blob := sealRaw(body)
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if got := d.I64(); got != 99 {
+		t.Errorf("i64 = %d", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sealRaw wraps a body in an uncompressed container (test helper mirroring
+// what Finish does for the compressed path).
+func sealRaw(body []byte) []byte {
+	sum := sha(body)
+	out := make([]byte, 0, headerSize+len(body))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, 0)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(body)))
+	out = append(out, sum...)
+	out = append(out, body...)
+	return out
+}
+
+func sha(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}
