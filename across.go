@@ -26,6 +26,7 @@ import (
 	"across/internal/acrossftl"
 	"across/internal/check"
 	"across/internal/experiments"
+	"across/internal/fleet"
 	"across/internal/ftl"
 	"across/internal/hostcache"
 	"across/internal/obs"
@@ -42,6 +43,21 @@ type Config = ssdconf.Config
 
 // Request is one block-level I/O in 512 B sectors.
 type Request = trace.Request
+
+// RequestClass is the alignment classification of a request against the
+// flash page size (Request.Classify).
+type RequestClass = trace.Class
+
+// The alignment classes of RequestClass.
+const (
+	// ClassAligned starts and ends on page boundaries.
+	ClassAligned = trace.ClassAligned
+	// ClassAcross is the paper's special case: no larger than one page but
+	// spanning two logical pages.
+	ClassAcross = trace.ClassAcross
+	// ClassUnaligned is any other request touching a partial page.
+	ClassUnaligned = trace.ClassUnaligned
+)
 
 // WorkloadProfile parameterises a synthetic enterprise-VDI trace
 // (request count, write ratio, mean write size, across-page ratio, locality,
@@ -335,4 +351,55 @@ func RunAllExperiments(cfg experiments.Config, w io.Writer) error {
 		return err
 	}
 	return experiments.RunAll(s, w)
+}
+
+// Fleet is a host-level volume composed of N independent simulated SSDs
+// behind one logical address space: logical requests are split into
+// per-device sub-requests by the volume's layout and complete when the
+// slowest sub-request lands (DESIGN §14).
+type Fleet = fleet.Volume
+
+// FleetSpec describes a fleet volume: device count, layout, and stripe
+// chunk size in sectors (0 picks the 64 KiB default; concat ignores it).
+type FleetSpec = fleet.Spec
+
+// FleetOptions tunes a fleet replay (open-loop device parallelism). Like
+// ParallelOptions, it only changes speed, never the Result.
+type FleetOptions = fleet.Options
+
+// FleetResult is everything one fleet replay measures: logical-request
+// latencies (join of the slowest fragment), fan-out, re-fragmentation
+// classes, and per-device balance reports.
+type FleetResult = fleet.Result
+
+// FleetLayout selects how a fleet volume maps logical addresses to devices.
+type FleetLayout = fleet.Layout
+
+// The supported fleet layouts.
+const (
+	// FleetConcat appends device address spaces back to back (no striping).
+	FleetConcat = fleet.LayoutConcat
+	// FleetRAID0 stripes the volume across all devices in fixed-size chunks.
+	FleetRAID0 = fleet.LayoutRAID0
+	// FleetRAID10 stripes across mirror pairs; writes hit both mirrors,
+	// reads alternate between them by stripe row.
+	FleetRAID10 = fleet.LayoutRAID10
+)
+
+// FleetLayouts returns every supported layout in comparison order.
+func FleetLayouts() []FleetLayout { return fleet.Layouts() }
+
+// ParseFleetLayout converts a CLI/JSON layout name into a FleetLayout.
+func ParseFleetLayout(s string) (FleetLayout, error) { return fleet.ParseLayout(s) }
+
+// NewFleet builds a fleet of fresh devices of one scheme and configuration;
+// age it with Fleet.Age (device 0 ages, the rest fork from its checkpoint).
+func NewFleet(s Scheme, cfg Config, spec FleetSpec) (*Fleet, error) {
+	return fleet.New(s, cfg, spec)
+}
+
+// RestoreFleet builds a fleet by forking every device from one warm
+// single-device snapshot produced by Runner.Snapshot or Fleet.WarmSnapshot.
+func RestoreFleet(blob []byte, spec FleetSpec) (*Fleet, error) {
+	return fleet.FromSnapshot(blob, spec)
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"across"
+	"across/internal/fleet"
 	"across/internal/profiling"
 	"across/internal/report"
 )
@@ -31,6 +32,10 @@ func main() {
 		qd         = flag.Int("qd", 0, "bound outstanding requests (0 = open loop)")
 		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine; results and every -trace-out/-metrics-out/-timeline artifact are bit-identical to -workers=1)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
+
+		fleetN  = flag.Int("fleet", 0, "compose N devices into one logical volume (0 = single device)")
+		layout  = flag.String("layout", "raid0", "fleet layout: concat | raid0 | raid10 (with -fleet)")
+		chunkKB = flag.Int("chunk-kb", fleet.DefaultChunkKB, "fleet stripe chunk in KB (with -fleet; ignored by concat)")
 
 		snapOut = flag.String("snapshot-out", "", "write a warm-state snapshot of the (aged) device to FILE before replaying")
 		snapIn  = flag.String("snapshot-in", "", "restore the device from a warm-state snapshot instead of building and aging one (-scheme/-page/-full/-no-age/-cachepages come from the snapshot and are ignored)")
@@ -71,6 +76,19 @@ func main() {
 		cfg = across.Table1Config()
 	}
 	cfg = cfg.WithPageBytes(*pageBytes)
+
+	if *fleetN > 0 {
+		runFleet(fleetOpts{
+			devices: *fleetN, layout: *layout, chunkKB: *chunkKB,
+			scheme: scheme, cfg: cfg,
+			traceFile: *traceFile, profile: *profile, scale: *scale, pageBytes: *pageBytes,
+			noAge: *noAge, qd: *qd, workers: *workers,
+			snapIn: *snapIn, snapOut: *snapOut,
+			check: *checkFlag || *auditEvery > 0, cachePages: *cachePages,
+			traceOut: *traceOut, metricsOut: *metricsOut, timeline: *timeline,
+		})
+		return
+	}
 
 	// A snapshot fixes the device: scheme kind, geometry and host cache all
 	// come from the blob, so restore before trace generation and let the

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+
+	"across/internal/fleet"
+	"across/internal/report"
+	"across/internal/sim"
+	"across/internal/ssdconf"
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// FleetSweepReport is the JSON document of -fleetsweep mode: the headline
+// fleet experiment of DESIGN §14. Every scheme is swept over every layout x
+// stripe-chunk cell on an N-device volume; each cell is a closed-loop queue-
+// depth sweep over a burst trace, from which the saturation knee (kneedle
+// over throughput vs QD) is extracted. Chunk sizes straddle the flash page
+// size on purpose: a chunk below the page re-fragments across-page requests
+// into partial-page fragments, which is exactly the traffic shape the
+// schemes differ on. ResultsIdentical guards the fleet determinism
+// contract: an open-loop replay must be byte-identical for any worker
+// count.
+type FleetSweepReport struct {
+	Benchmark     string `json:"benchmark"`
+	GoVersion     string `json:"go_version"`
+	GitRevision   string `json:"git_revision,omitempty"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Device        string `json:"device"`
+	Devices       int    `json:"devices"`
+	TraceRequests int    `json:"trace_requests"`
+	PageKB        int    `json:"page_kb"`
+
+	Cells []report.FleetCell `json:"cells"`
+
+	ResultsIdentical bool `json:"results_identical"`
+}
+
+// fleetSweepQDs is the closed-loop queue-depth ladder of each cell.
+var fleetSweepQDs = []int{1, 2, 4, 8, 16, 32}
+
+// fleetSweepChunksKB straddles the 8 KB bench page size: 4 KB re-fragments
+// page-aligned traffic, 8 KB matches it, 64 KB is the common RAID default.
+var fleetSweepChunksKB = []int{4, 8, 64}
+
+// fleetCellSpecs enumerates the layout x chunk cells: concat ignores the
+// chunk, so it contributes one cell.
+func fleetCellSpecs(devices int) []fleet.Spec {
+	specs := []fleet.Spec{{Devices: devices, Layout: fleet.LayoutConcat}}
+	for _, l := range []fleet.Layout{fleet.LayoutRAID0, fleet.LayoutRAID10} {
+		for _, kb := range fleetSweepChunksKB {
+			specs = append(specs, fleet.Spec{
+				Devices:      devices,
+				Layout:       l,
+				ChunkSectors: int64(kb) * 1024 / ssdconf.SectorBytes,
+			})
+		}
+	}
+	return specs
+}
+
+// fleetSweepTrace generates the cell workload: a lun1-profile trace sized to
+// the volume, with every arrival squashed to t=0 so the closed-loop gate —
+// not the arrival process — sets the offered load and the QD ladder can
+// actually saturate the devices.
+func fleetSweepTrace(v *fleet.Volume, scale float64) ([]trace.Request, error) {
+	p, err := workload.LunProfile("lun1")
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.Generate(p.Scale(scale), v.LogicalSectors())
+	if err != nil {
+		return nil, err
+	}
+	for i := range reqs {
+		reqs[i].Time = 0
+	}
+	return reqs, nil
+}
+
+// runFleetSweep executes -fleetsweep and writes the report.
+func runFleetSweep(devices int, scale float64, out string) error {
+	conf := benchSSD()
+	kinds := append(sim.Kinds(), sim.KindDFTL)
+	specs := fleetCellSpecs(devices)
+
+	rep := FleetSweepReport{
+		Benchmark:        "FleetSaturationSweep",
+		GoVersion:        runtime.Version(),
+		GitRevision:      gitRevision(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Device:           conf.String(),
+		Devices:          devices,
+		PageKB:           conf.PageBytes / 1024,
+		ResultsIdentical: true,
+	}
+
+	for _, kind := range kinds {
+		// Age one device per scheme and snapshot it; every cell and every
+		// QD point forks a fresh volume from the blob (replays mutate
+		// device state, so points must not share devices).
+		fmt.Fprintf(os.Stderr, "bench: fleetsweep %s: aging...\n", kind)
+		seed, err := sim.NewRunner(kind, conf)
+		if err != nil {
+			return err
+		}
+		if err := seed.Age(sim.DefaultAging()); err != nil {
+			return err
+		}
+		blob, err := seed.Snapshot()
+		if err != nil {
+			return err
+		}
+		for _, spec := range specs {
+			cell, nreqs, identical, err := runFleetCell(kind, blob, spec, scale)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, *cell)
+			rep.ResultsIdentical = rep.ResultsIdentical && identical
+			// The request count only varies with the volume's usable
+			// capacity (raid10 halves it); record the largest.
+			if nreqs > rep.TraceRequests {
+				rep.TraceRequests = nreqs
+			}
+		}
+	}
+
+	report.SaturationTable("fleet saturation sweep", rep.Cells, os.Stderr)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if out != "" {
+		return os.WriteFile(out, enc, 0o644)
+	}
+	return nil
+}
+
+// runFleetCell measures one (scheme, layout, chunk) cell: the QD ladder plus
+// the open-loop determinism pair (serial vs parallel workers).
+func runFleetCell(kind sim.SchemeKind, blob []byte, spec fleet.Spec, scale float64) (*report.FleetCell, int, bool, error) {
+	fork := func() (*fleet.Volume, error) { return fleet.FromSnapshot(blob, spec) }
+	v0, err := fork()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	reqs, err := fleetSweepTrace(v0, scale)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	chips := v0.Conf.Chips()
+	chunkKB := 0 // concat does not stripe
+	if spec.Layout != fleet.LayoutConcat {
+		chunkKB = int(v0.ChunkSectors() * ssdconf.SectorBytes / 1024)
+	}
+	cell := &report.FleetCell{
+		Scheme:  string(kind),
+		Layout:  string(spec.Layout),
+		Devices: spec.Devices,
+		ChunkKB: chunkKB,
+	}
+	fmt.Fprintf(os.Stderr, "bench: fleetsweep %s %s chunk=%dKB...\n", kind, spec.Layout, chunkKB)
+
+	for _, qd := range fleetSweepQDs {
+		v, err := fork()
+		if err != nil {
+			return nil, 0, false, err
+		}
+		res, err := v.ReplayQD(reqs, qd, fleet.Options{})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		lo, hi := res.UtilisationSpread(chips)
+		cell.Points = append(cell.Points, report.QDPoint{
+			QD:         qd,
+			Throughput: res.Throughput(),
+			ReadP99:    res.ReadLat.P99(),
+			WriteP99:   res.WriteLat.P99(),
+			AvgRead:    res.AvgReadLatency(),
+			AvgWrite:   res.AvgWriteLatency(),
+			UtilMin:    lo,
+			UtilMax:    hi,
+		})
+		if qd == fleetSweepQDs[len(fleetSweepQDs)-1] {
+			cell.Fanout = res.Fanout()
+			cell.AcrossRatio = res.LogicalClasses.Ratio(trace.ClassAcross)
+			cell.SubAcross = res.SubClasses.Ratio(trace.ClassAcross)
+			cell.SubUnaligned = res.SubClasses.Ratio(trace.ClassUnaligned)
+		}
+	}
+	if k := report.Knee(cell.Points); k >= 0 {
+		cell.KneeQD = cell.Points[k].QD
+	}
+
+	// Determinism pair: one open-loop replay serial, one with a worker per
+	// device, compared structurally (histograms included).
+	vs, err := fork()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	serial, err := vs.Replay(reqs, fleet.Options{Workers: 1})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	vp, err := fork()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	parallel, err := vp.Replay(reqs, fleet.Options{Workers: spec.Devices})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return cell, len(reqs), reflect.DeepEqual(serial, parallel), nil
+}

@@ -208,6 +208,9 @@ func main() {
 	forksweepScheme := flag.String("forksweep-scheme", "Across-FTL", "scheme to sweep (with -forksweep)")
 	forksweepQDs := flag.String("forksweep-qds", "0,2,4,8", "comma-separated queue-depth variants (with -forksweep)")
 	forksweepAging := flag.Float64("forksweep-aging-scale", 1.0, "scale of the lun6 aging trace replayed during warm-up (with -forksweep)")
+	fleetsweep := flag.Bool("fleetsweep", false, "fleet saturation mode: sweep every scheme over layout x chunk cells of an N-device volume with a closed-loop QD ladder, reporting the saturation knee per cell")
+	fleetDevices := flag.Int("fleet-devices", 4, "devices per fleet volume (with -fleetsweep)")
+	fleetScale := flag.Float64("fleet-scale", 0.002, "per-cell workload scale (with -fleetsweep)")
 	flag.Parse()
 
 	if *loadgen {
@@ -224,6 +227,12 @@ func main() {
 	}
 	if *forksweep {
 		if err := runForkSweep(*forksweepScheme, *forksweepQDs, *forksweepAging, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fleetsweep {
+		if err := runFleetSweep(*fleetDevices, *fleetScale, *out); err != nil {
 			fatal(err)
 		}
 		return

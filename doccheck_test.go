@@ -1,0 +1,103 @@
+package across
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// docCheckedDirs are the packages whose exported API must carry doc
+// comments: the public facade and the two packages its fleet and replay
+// surfaces are built on. CI runs this test, so an undocumented export is a
+// build break, not a review nit.
+var docCheckedDirs = []string{".", "internal/sim", "internal/fleet"}
+
+// TestExportedAPIDocumented fails for every exported top-level declaration
+// (type, func, method, var, const) in docCheckedDirs that has no doc
+// comment.
+func TestExportedAPIDocumented(t *testing.T) {
+	for _, dir := range docCheckedDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				checkFileDocs(t, fset, f)
+			}
+		}
+	}
+}
+
+func checkFileDocs(t *testing.T, fset *token.FileSet, f *ast.File) {
+	t.Helper()
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				t.Errorf("%s: exported %s %s has no doc comment",
+					fset.Position(d.Pos()), declKind(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						t.Errorf("%s: exported type %s has no doc comment",
+							fset.Position(s.Pos()), s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A group doc comment covers every member (the idiom
+					// for enum-style const blocks); otherwise each
+					// exported name needs its own.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							t.Errorf("%s: exported %s %s has no doc comment",
+								fset.Position(s.Pos()), d.Tok, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not public API); plain functions pass.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}

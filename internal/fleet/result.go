@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"across/internal/ftl"
+	"across/internal/sim"
+	"across/internal/stats"
+	"across/internal/trace"
+)
+
+// DeviceReport is one device's share of a fleet replay: how much work the
+// layout routed to it and what that work cost. The spread across devices is
+// the queue-imbalance view — a straggler shows up as the utilisation max.
+type DeviceReport struct {
+	Device      int             `json:"device"`
+	SubRequests int64           `json:"sub_requests"`
+	Sectors     int64           `json:"sectors"`
+	BusyMs      float64         `json:"busy_ms"` // summed chip service time
+	Counters    ftl.Counters    `json:"counters"`
+	Wear        sim.WearSummary `json:"wear"`
+}
+
+// ClassCounts counts requests per alignment class, indexed by trace.Class
+// (aligned, across-page, unaligned).
+type ClassCounts [3]int64
+
+// Total returns the summed count across classes.
+func (c ClassCounts) Total() int64 { return c[0] + c[1] + c[2] }
+
+// Ratio returns class i's share of the total (0 when empty).
+func (c ClassCounts) Ratio(i trace.Class) float64 {
+	if t := c.Total(); t > 0 {
+		return float64(c[i]) / float64(t)
+	}
+	return 0
+}
+
+// Result is everything one fleet replay measures. Latencies are logical:
+// a request's response time runs from its trace arrival to the completion
+// of its slowest sub-request (plus host-queue delay in closed-loop mode).
+type Result struct {
+	Scheme       string `json:"scheme"`
+	Layout       Layout `json:"layout"`
+	Devices      int    `json:"devices"`
+	ChunkSectors int64  `json:"chunk_sectors"`
+
+	Requests   int64 `json:"requests"`
+	ReadCount  int64 `json:"reads"`
+	WriteCount int64 `json:"writes"`
+
+	ReadLatencySum  float64 `json:"read_latency_sum_ms"`
+	WriteLatencySum float64 `json:"write_latency_sum_ms"`
+
+	// ReadLat / WriteLat hold the full logical-latency distributions; the
+	// saturation sweep's p99 columns come from here.
+	ReadLat  stats.Histogram `json:"-"`
+	WriteLat stats.Histogram `json:"-"`
+
+	// SubRequests counts device-local fragments dispatched (mirror writes
+	// count each copy); SubRequests/Requests is the layout's fan-out.
+	SubRequests int64 `json:"sub_requests"`
+
+	// LogicalClasses classifies logical requests against the device page
+	// size; SubClasses classifies the dispatched fragments the same way.
+	// Their difference is the re-fragmentation effect of the layout: a
+	// chunk size below the page size converts across-page requests into
+	// partial-page fragments and aligned requests into unaligned ones.
+	LogicalClasses ClassCounts `json:"logical_classes"`
+	SubClasses     ClassCounts `json:"sub_classes"`
+
+	// ByBucket aggregates logical requests per (direction, logical class),
+	// with flash-op attribution summed over every fragment the request
+	// fanned out to.
+	ByBucket [2][3]sim.OpClassMetrics `json:"by_bucket"`
+
+	PerDevice []DeviceReport `json:"per_device"`
+
+	// TraceSpanMs is the logical arrival span; MeasuredSpanMs runs from the
+	// first arrival to the latest of any device's idle horizon, the last
+	// completion and the last arrival — the utilisation and throughput
+	// denominator.
+	TraceSpanMs    float64 `json:"trace_span_ms"`
+	MeasuredSpanMs float64 `json:"measured_span_ms"`
+
+	// WarmupWrites sums the devices' aging programs (not in Counters).
+	WarmupWrites int64 `json:"warmup_writes"`
+}
+
+// AvgReadLatency returns the mean logical read response time in ms.
+func (r *Result) AvgReadLatency() float64 {
+	if r.ReadCount == 0 {
+		return 0
+	}
+	return r.ReadLatencySum / float64(r.ReadCount)
+}
+
+// AvgWriteLatency returns the mean logical write response time in ms.
+func (r *Result) AvgWriteLatency() float64 {
+	if r.WriteCount == 0 {
+		return 0
+	}
+	return r.WriteLatencySum / float64(r.WriteCount)
+}
+
+// Throughput returns logical requests per simulated second over the
+// measured makespan (0 when the span is zero) — the y axis of the
+// saturation sweep.
+func (r *Result) Throughput() float64 {
+	if r.MeasuredSpanMs <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / (r.MeasuredSpanMs / 1000)
+}
+
+// Fanout returns dispatched fragments per logical request.
+func (r *Result) Fanout() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.SubRequests) / float64(r.Requests)
+}
+
+// DeviceUtilisation returns device d's busy fraction: its summed chip
+// service time over chips × measured makespan.
+func (r *Result) DeviceUtilisation(d int, chips int) float64 {
+	if r.MeasuredSpanMs <= 0 || chips <= 0 || d >= len(r.PerDevice) {
+		return 0
+	}
+	return r.PerDevice[d].BusyMs / (float64(chips) * r.MeasuredSpanMs)
+}
+
+// UtilisationSpread returns the min and max device utilisation for a fleet
+// of chips-wide devices — the load-balance (straggler) indicator.
+func (r *Result) UtilisationSpread(chips int) (min, max float64) {
+	for d := range r.PerDevice {
+		u := r.DeviceUtilisation(d, chips)
+		if d == 0 || u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	return min, max
+}
+
+// Counters returns the fleet-wide sum of per-device flash-operation
+// counters for the measured phase.
+func (r *Result) Counters() ftl.Counters {
+	var sum ftl.Counters
+	for _, d := range r.PerDevice {
+		sum.DataReads += d.Counters.DataReads
+		sum.DataWrites += d.Counters.DataWrites
+		sum.MapReads += d.Counters.MapReads
+		sum.MapWrites += d.Counters.MapWrites
+		sum.GCReads += d.Counters.GCReads
+		sum.GCWrites += d.Counters.GCWrites
+		sum.Erases += d.Counters.Erases
+		sum.DRAMAccesses += d.Counters.DRAMAccesses
+		sum.GCInvocations += d.Counters.GCInvocations
+	}
+	return sum
+}

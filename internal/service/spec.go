@@ -7,12 +7,14 @@ import (
 	"fmt"
 
 	"across/internal/experiments"
+	"across/internal/fleet"
 	"across/internal/ftl"
 	"across/internal/jobs"
 	"across/internal/obs"
 	"across/internal/sim"
 	"across/internal/ssdconf"
 	"across/internal/store"
+	"across/internal/trace"
 	"across/internal/workload"
 )
 
@@ -34,6 +36,12 @@ type ReplaySpec struct {
 	Age     bool    `json:"age,omitempty"`        // §4.1 warm-up before measuring
 	Full    bool    `json:"full,omitempty"`       // full Table 1 geometry (default: scaled)
 
+	// Fleet composes N devices into one logical volume and replays the
+	// trace through its layout instead of against a single device. Fleet
+	// jobs reuse the single-device AgingKey checkpoints: one device ages
+	// (or a stored checkpoint is found) and every device forks from it.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+
 	Priority  int   `json:"priority,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Workers sizes the replay's internal worker pool: 0 lets the
@@ -42,6 +50,25 @@ type ReplaySpec struct {
 	// engine is bit-identical to the serial one — so it is excluded from
 	// the content key, and cached results serve any Workers value.
 	Workers int `json:"workers,omitempty"`
+}
+
+// FleetSpec is the fleet block of a replay submit-body: device count,
+// layout name (concat | raid0 | raid10, default raid0) and stripe chunk in
+// KB (0 = the 64 KiB default; ignored by concat). All three are simulated-
+// outcome knobs and join the content key.
+type FleetSpec struct {
+	Devices int    `json:"devices"`
+	Layout  string `json:"layout,omitempty"`
+	ChunkKB int    `json:"chunk_kb,omitempty"`
+}
+
+// fleetSpec resolves the JSON block into the fleet package's spec.
+func (sp *ReplaySpec) fleetSpec() fleet.Spec {
+	return fleet.Spec{
+		Devices:      sp.Fleet.Devices,
+		Layout:       fleet.Layout(sp.Fleet.Layout),
+		ChunkSectors: int64(sp.Fleet.ChunkKB) * 1024 / ssdconf.SectorBytes,
+	}
 }
 
 func (sp *ReplaySpec) normalise() {
@@ -53,6 +80,18 @@ func (sp *ReplaySpec) normalise() {
 	}
 	if sp.Scheme == "" {
 		sp.Scheme = string(sim.KindAcross)
+	}
+	if sp.Fleet != nil {
+		if sp.Fleet.Layout == "" {
+			sp.Fleet.Layout = string(fleet.LayoutRAID0)
+		}
+		// Canonicalise the chunk so equivalent specs share one content key:
+		// concat ignores it entirely, and zero means the fleet default.
+		if sp.Fleet.Layout == string(fleet.LayoutConcat) {
+			sp.Fleet.ChunkKB = 0
+		} else if sp.Fleet.ChunkKB == 0 {
+			sp.Fleet.ChunkKB = fleet.DefaultChunkKB
+		}
 	}
 }
 
@@ -72,7 +111,18 @@ func (sp *ReplaySpec) validate() error {
 		return fmt.Errorf("workers %d negative", sp.Workers)
 	}
 	conf := sp.config()
-	return conf.Validate()
+	if err := conf.Validate(); err != nil {
+		return err
+	}
+	if sp.Fleet != nil {
+		if _, err := fleet.ParseLayout(sp.Fleet.Layout); err != nil {
+			return err
+		}
+		if err := sp.fleetSpec().Validate(conf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (sp *ReplaySpec) config() ssdconf.Config {
@@ -99,11 +149,26 @@ func (sp *ReplaySpec) profile() (workload.Profile, error) {
 // the full device configuration, the fully-resolved workload profile
 // (request count, ratios, seed), the queue depth and the aging switch.
 // Everything that changes the simulated outcome is in here; anything that
-// only changes scheduling (priority, timeout) is not.
+// only changes scheduling (priority, timeout) is not. Fleet jobs hash an
+// extended structure under a distinct Kind string; the non-fleet structure
+// is untouched so results cached before the fleet layer existed keep their
+// addresses.
 func (sp *ReplaySpec) Key() (string, error) {
 	prof, err := sp.profile()
 	if err != nil {
 		return "", err
+	}
+	if sp.Fleet != nil {
+		fspec := sp.fleetSpec()
+		return store.HashJSON(struct {
+			V       int
+			Kind    string
+			Conf    ssdconf.Config
+			Profile workload.Profile
+			QD      int
+			Age     bool
+			Fleet   fleet.Spec
+		}{keyVersion, "fleet-replay/" + sp.Scheme, sp.config(), prof, sp.QD, sp.Age, fspec})
 	}
 	return store.HashJSON(struct {
 		V       int
@@ -255,6 +320,78 @@ func replayResultDoc(res *sim.Result) *ReplayResult {
 	return doc
 }
 
+// FleetReplayResult is the stored digest of a fleet.Result: volume shape,
+// logical-request latencies and throughput, the layout's fan-out and
+// re-fragmentation ratios, fleet-wide counters, the device utilisation
+// spread, and the full per-device reports.
+type FleetReplayResult struct {
+	Scheme  string `json:"scheme"`
+	Layout  string `json:"layout"`
+	Devices int    `json:"devices"`
+	ChunkKB int64  `json:"chunk_kb"`
+
+	Requests int64 `json:"requests"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+
+	AvgReadMs  float64 `json:"avg_read_ms"`
+	AvgWriteMs float64 `json:"avg_write_ms"`
+	ReadP50Ms  float64 `json:"read_p50_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+	WriteP50Ms float64 `json:"write_p50_ms"`
+	WriteP99Ms float64 `json:"write_p99_ms"`
+
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Fanout        float64 `json:"fanout"`
+	SubRequests   int64   `json:"sub_requests"`
+
+	LogicalAcrossRatio float64 `json:"logical_across_ratio"`
+	SubAcrossRatio     float64 `json:"sub_across_ratio"`
+	SubUnalignedRatio  float64 `json:"sub_unaligned_ratio"`
+
+	Counters ftl.Counters `json:"counters"`
+	UtilMin  float64      `json:"utilisation_min"`
+	UtilMax  float64      `json:"utilisation_max"`
+
+	PerDevice []fleet.DeviceReport `json:"per_device"`
+
+	TraceSpanMs    float64 `json:"trace_span_ms"`
+	MeasuredSpanMs float64 `json:"measured_span_ms"`
+	WarmupWrites   int64   `json:"warmup_writes"`
+}
+
+func fleetResultDoc(res *fleet.Result, chips int) *FleetReplayResult {
+	umin, umax := res.UtilisationSpread(chips)
+	return &FleetReplayResult{
+		Scheme:             res.Scheme,
+		Layout:             string(res.Layout),
+		Devices:            res.Devices,
+		ChunkKB:            res.ChunkSectors * ssdconf.SectorBytes / 1024,
+		Requests:           res.Requests,
+		Reads:              res.ReadCount,
+		Writes:             res.WriteCount,
+		AvgReadMs:          res.AvgReadLatency(),
+		AvgWriteMs:         res.AvgWriteLatency(),
+		ReadP50Ms:          res.ReadLat.P50(),
+		ReadP99Ms:          res.ReadLat.P99(),
+		WriteP50Ms:         res.WriteLat.P50(),
+		WriteP99Ms:         res.WriteLat.P99(),
+		ThroughputRPS:      res.Throughput(),
+		Fanout:             res.Fanout(),
+		SubRequests:        res.SubRequests,
+		LogicalAcrossRatio: res.LogicalClasses.Ratio(trace.ClassAcross),
+		SubAcrossRatio:     res.SubClasses.Ratio(trace.ClassAcross),
+		SubUnalignedRatio:  res.SubClasses.Ratio(trace.ClassUnaligned),
+		Counters:           res.Counters(),
+		UtilMin:            umin,
+		UtilMax:            umax,
+		PerDevice:          res.PerDevice,
+		TraceSpanMs:        res.TraceSpanMs,
+		MeasuredSpanMs:     res.MeasuredSpanMs,
+		WarmupWrites:       res.WarmupWrites,
+	}
+}
+
 // ExperimentResult is the stored outcome of an experiment job: the rendered
 // artifact.
 type ExperimentResult struct {
@@ -286,6 +423,9 @@ type Entry struct {
 // replay job streams progress and stores its sampled series, bit-identical
 // for any worker count. Each phase is recorded in the job's span log.
 func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *progressHub, spl *spanLog) (*Entry, error) {
+	if sp.Fleet != nil {
+		return s.runFleetReplay(ctx, key, sp, spl)
+	}
 	spl.next("generate")
 	conf := sp.config()
 	prof, err := sp.profile()
@@ -361,6 +501,95 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 	}
 	spl.next("store", replayAttrs...)
 	entry, err := buildEntry(key, "replay", sp, replayResultDoc(res), smp.Samples())
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.Put(key, entry); err != nil {
+		return nil, jobs.Transient(err)
+	}
+	spl.next("")
+	return entry, nil
+}
+
+// runFleetReplay executes one fleet replay job: build the N-device volume,
+// warm it by forking every device from the single-device AgingKey
+// checkpoint (aging device 0 and storing the checkpoint if none exists —
+// the same store entry non-fleet jobs use), then replay the trace through
+// the layout. Fleet replays have no per-request progress sampler yet, so
+// the stored entry carries no sample series; determinism still holds — the
+// fleet engines are bit-identical for every worker count.
+func (s *Server) runFleetReplay(ctx context.Context, key string, sp ReplaySpec, spl *spanLog) (*Entry, error) {
+	spl.next("generate")
+	conf := sp.config()
+	fspec := sp.fleetSpec()
+	v, err := fleet.New(sim.SchemeKind(sp.Scheme), conf, fspec)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := sp.profile()
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.Generate(prof, v.LogicalSectors())
+	if err != nil {
+		return nil, err
+	}
+	var agingAttrs []string
+	if sp.Age {
+		akey, err := sp.AgingKey()
+		if err != nil {
+			return nil, err
+		}
+		agingAttrs = []string{"aging_key", akey}
+		// Same flight lock and store entry as single-device jobs: the first
+		// job ages once, everyone else — fleet or not — forks from the blob.
+		unlock := s.agingFlight(akey)
+		restored := false
+		if warm := s.loadAgingSnapshot(akey, sp.Scheme); warm != nil {
+			spl.next("restore")
+			if err := v.RestoreWarm(warm); err == nil {
+				restored = true
+				s.counter("snapshot_restores", int64(fspec.Devices))
+			}
+		}
+		if !restored {
+			spl.next("age")
+			if err := s.ageAndStore(ctx, v.Runners[0], akey, sp.Scheme); err != nil {
+				unlock()
+				return nil, err
+			}
+			blob, err := v.WarmSnapshot()
+			if err != nil {
+				unlock()
+				return nil, err
+			}
+			if err := v.RestoreWarm(blob); err != nil {
+				unlock()
+				return nil, err
+			}
+		}
+		unlock()
+	}
+	workers := sp.Workers
+	if workers == 0 {
+		workers = jobs.Parallelism(ctx)
+	}
+	spl.next("replay", agingAttrs...)
+	res, err := v.ReplayQDCtx(ctx, reqs, sp.QD, fleet.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	engine := "fleet-serial"
+	if sp.QD <= 0 && workers > 1 && fspec.Devices > 1 {
+		engine = "fleet-parallel"
+	}
+	spl.next("store",
+		"engine", engine,
+		"workers", fmt.Sprint(workers),
+		"devices", fmt.Sprint(v.Devices()),
+		"layout", string(v.Layout()),
+		"chunk_sectors", fmt.Sprint(v.ChunkSectors()))
+	entry, err := buildEntry(key, "replay", sp, fleetResultDoc(res, conf.Chips()), nil)
 	if err != nil {
 		return nil, err
 	}

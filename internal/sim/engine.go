@@ -41,6 +41,11 @@ type Runner struct {
 	checker *check.Checker
 }
 
+// WarmupWrites reports the page programs spent aging this runner (restored
+// runners carry their checkpoint's count) — the fleet layer sums these into
+// its Result the way beginReplay copies them into a single-device one.
+func (r *Runner) WarmupWrites() int64 { return r.warmupWrites }
+
 // NewRunner builds a scheme of the given kind on a fresh device.
 func NewRunner(kind SchemeKind, conf ssdconf.Config) (*Runner, error) {
 	if err := conf.Validate(); err != nil {
