@@ -18,10 +18,8 @@
 package across
 
 import (
-	"bytes"
 	"fmt"
 	"io"
-	"strings"
 
 	"across/internal/acrossftl"
 	"across/internal/check"
@@ -30,6 +28,7 @@ import (
 	"across/internal/ftl"
 	"across/internal/hostcache"
 	"across/internal/obs"
+	"across/internal/scenario"
 	"across/internal/sim"
 	"across/internal/ssdconf"
 	"across/internal/trace"
@@ -124,26 +123,7 @@ func ReadMSRTrace(r io.Reader) ([]Request, error) { return trace.ReadAllMSR(r) }
 // ReadTraceAuto sniffs the format from the first non-empty line (SYSTOR '17
 // or MSR Cambridge) and parses accordingly.
 func ReadTraceAuto(r io.Reader) ([]Request, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	first := ""
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line != "" && line[0] != '#' {
-			first = line
-			break
-		}
-	}
-	format, err := trace.DetectFormat(first)
-	if err != nil {
-		return nil, err
-	}
-	if format == "msr" {
-		return trace.ReadAllMSR(bytes.NewReader(data))
-	}
-	return trace.ReadAll(bytes.NewReader(data))
+	return trace.ReadAllAuto(r)
 }
 
 // WriteTrace emits requests in the SYSTOR '17 CSV format.
@@ -402,4 +382,61 @@ func NewFleet(s Scheme, cfg Config, spec FleetSpec) (*Fleet, error) {
 // single-device snapshot produced by Runner.Snapshot or Fleet.WarmSnapshot.
 func RestoreFleet(blob []byte, spec FleetSpec) (*Fleet, error) {
 	return fleet.FromSnapshot(blob, spec)
+}
+
+// Scenario composes time-varying, multi-cohort workloads (DESIGN §15):
+// temporal arrival patterns modulating each cohort's rate over simulated
+// time, tenant cohorts (synthetic profiles or parsed real traces) confined
+// to disjoint LBA partitions of one device, merged into one deterministic
+// arrival-ordered stream.
+type Scenario = scenario.Scenario
+
+// ScenarioCohort is one tenant of a Scenario: a workload source, an LBA
+// partition, a temporal pattern, and an activation offset.
+type ScenarioCohort = scenario.Cohort
+
+// ScenarioPattern modulates a cohort's arrival rate over simulated time
+// (constant, ramp, spike/burst, day-night).
+type ScenarioPattern = scenario.Pattern
+
+// ScenarioStream is a generated scenario workload: the merged request
+// stream plus per-cohort metadata, storable as a trace-v2 container.
+type ScenarioStream = scenario.Stream
+
+// The temporal pattern kinds of ScenarioPattern.
+const (
+	// PatternConstant keeps the cohort at its profile rate.
+	PatternConstant = scenario.PatternConstant
+	// PatternRamp climbs from Base to Peak over PeriodMs, then holds.
+	PatternRamp = scenario.PatternRamp
+	// PatternSpike alternates a baseline with short bursts each period.
+	PatternSpike = scenario.PatternSpike
+	// PatternDayNight swings the rate through a discretised diurnal cycle.
+	PatternDayNight = scenario.PatternDayNight
+)
+
+// ScenarioNames lists the builtin scenarios (stationary, burst, daynight,
+// mixed) in sorted order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuiltinScenario returns a named builtin scenario.
+func BuiltinScenario(name string) (Scenario, error) { return scenario.Builtin(name) }
+
+// ScenarioFromTrace wraps a parsed real trace (ReadTrace/ReadMSRTrace) as a
+// single-cohort scenario replaying at its recorded pacing.
+func ScenarioFromTrace(name string, reqs []Request) Scenario {
+	return scenario.FromTrace(name, reqs)
+}
+
+// EncodeScenarioStream seals a generated stream into the versioned trace-v2
+// binary container (deterministic bytes, self-describing workload header).
+func EncodeScenarioStream(s *ScenarioStream) ([]byte, error) {
+	return scenario.EncodeStream(s)
+}
+
+// DecodeScenarioStream opens a trace-v2 container produced by
+// EncodeScenarioStream, rejecting truncated, tampered or incompatible
+// containers with typed errors.
+func DecodeScenarioStream(blob []byte) (*ScenarioStream, error) {
+	return scenario.DecodeStream(blob)
 }

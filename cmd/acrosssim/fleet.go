@@ -17,6 +17,7 @@ type fleetOpts struct {
 
 	scheme     across.Scheme
 	cfg        across.Config
+	scenario   scenarioOpts
 	traceFile  string
 	profile    string
 	scale      float64
@@ -85,7 +86,12 @@ func runFleet(o fleetOpts) {
 	}
 	cfg := *v.Conf
 
-	reqs := loadTrace(o.traceFile, o.profile, o.scale, v.LogicalSectors())
+	var reqs []across.Request
+	if o.scenario.active() {
+		reqs = loadScenarioStream(o.scenario, v.LogicalSectors())
+	} else {
+		reqs = loadTrace(o.traceFile, o.profile, o.scale, v.LogicalSectors())
+	}
 	st := across.TraceStats(reqs, o.pageBytes)
 	fmt.Printf("device : %s\n", cfg.String())
 	fmt.Printf("fleet  : %d devices, %s, chunk %d KB, %.1f GiB logical\n",

@@ -33,6 +33,10 @@ func main() {
 		workers    = flag.Int("workers", 1, "replay worker goroutines (>1 = parallel engine; results and every -trace-out/-metrics-out/-timeline artifact are bit-identical to -workers=1)")
 		cachePages = flag.Int("cachepages", 0, "host DRAM data cache in pages (0 = none)")
 
+		scenarioName = flag.String("scenario", "", "scenario workload: builtin name (stationary | burst | daynight | mixed) or \"trace\" to wrap -trace as a cohort")
+		scenarioIn   = flag.String("scenario-in", "", "replay a stored trace-v2 scenario stream instead of generating one")
+		scenarioOut  = flag.String("scenario-out", "", "write the generated scenario stream as a trace-v2 container to FILE")
+
 		fleetN  = flag.Int("fleet", 0, "compose N devices into one logical volume (0 = single device)")
 		layout  = flag.String("layout", "raid0", "fleet layout: concat | raid0 | raid10 (with -fleet)")
 		chunkKB = flag.Int("chunk-kb", fleet.DefaultChunkKB, "fleet stripe chunk in KB (with -fleet; ignored by concat)")
@@ -77,10 +81,15 @@ func main() {
 	}
 	cfg = cfg.WithPageBytes(*pageBytes)
 
+	scOpts := scenarioOpts{
+		name: *scenarioName, inFile: *scenarioIn, outFile: *scenarioOut,
+		trace: *traceFile, scale: *scale,
+	}
+
 	if *fleetN > 0 {
 		runFleet(fleetOpts{
 			devices: *fleetN, layout: *layout, chunkKB: *chunkKB,
-			scheme: scheme, cfg: cfg,
+			scheme: scheme, cfg: cfg, scenario: scOpts,
 			traceFile: *traceFile, profile: *profile, scale: *scale, pageBytes: *pageBytes,
 			noAge: *noAge, qd: *qd, workers: *workers,
 			snapIn: *snapIn, snapOut: *snapOut,
@@ -109,6 +118,8 @@ func main() {
 
 	var reqs []across.Request
 	switch {
+	case scOpts.active():
+		reqs = loadScenarioStream(scOpts, cfg.LogicalSectors())
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {

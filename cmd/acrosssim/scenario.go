@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"across"
+)
+
+// scenarioOpts carries the parsed scenario flags from main to the loader.
+type scenarioOpts struct {
+	name    string  // builtin scenario name, or "trace" to wrap -trace
+	inFile  string  // trace-v2 container to replay instead of generating
+	outFile string  // write the generated stream as a trace-v2 container
+	trace   string  // real-trace CSV for name == "trace"
+	scale   float64 // request-count scale applied before generation
+}
+
+func (o scenarioOpts) active() bool { return o.name != "" || o.inFile != "" }
+
+// loadScenarioStream produces the request stream for scenario mode: either
+// decoding a stored trace-v2 container (-scenario-in) or building the named
+// scenario — a builtin, or a real trace wrapped as a cohort — and generating
+// it for the device. The generated stream is optionally sealed back to a
+// trace-v2 file (-scenario-out), and the scenario summary is printed.
+func loadScenarioStream(o scenarioOpts, logicalSectors int64) []across.Request {
+	var stream *across.ScenarioStream
+	if o.inFile != "" {
+		blob, err := os.ReadFile(o.inFile)
+		if err != nil {
+			fatal(err)
+		}
+		stream, err = across.DecodeScenarioStream(blob)
+		if err != nil {
+			fatal(err)
+		}
+		if stream.LogicalSectors != logicalSectors {
+			fatal(fmt.Errorf("scenario stream %s was generated for %d logical sectors, device has %d",
+				o.inFile, stream.LogicalSectors, logicalSectors))
+		}
+	} else {
+		var sc across.Scenario
+		if o.name == "trace" {
+			if o.trace == "" {
+				fatal(fmt.Errorf("-scenario trace needs -trace FILE"))
+			}
+			f, err := os.Open(o.trace)
+			if err != nil {
+				fatal(err)
+			}
+			reqs, err := across.ReadTraceAuto(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			sc = across.ScenarioFromTrace("trace", reqs)
+		} else {
+			var err error
+			sc, err = across.BuiltinScenario(o.name)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		stream, err = sc.Scale(o.scale).Generate(logicalSectors)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if o.outFile != "" {
+		blob, err := across.EncodeScenarioStream(stream)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(o.outFile, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tracev2 : %d bytes -> %s\n", len(blob), o.outFile)
+	}
+	fmt.Printf("scenario: %s, %d cohorts\n", stream.Scenario, len(stream.Cohorts))
+	for _, c := range stream.Cohorts {
+		fmt.Printf("  cohort: %-12s %8d requests, partition [%d, +%d) sectors\n",
+			c.Name, c.Requests, c.StartSector, c.Sectors)
+	}
+	return stream.Requests
+}

@@ -211,6 +211,9 @@ func main() {
 	fleetsweep := flag.Bool("fleetsweep", false, "fleet saturation mode: sweep every scheme over layout x chunk cells of an N-device volume with a closed-loop QD ladder, reporting the saturation knee per cell")
 	fleetDevices := flag.Int("fleet-devices", 4, "devices per fleet volume (with -fleetsweep)")
 	fleetScale := flag.Float64("fleet-scale", 0.002, "per-cell workload scale (with -fleetsweep)")
+	scenariosweep := flag.Bool("scenariosweep", false, "scenario matrix mode: replay every scheme against every builtin scenario plus the MSR trace on two page sizes, with a serial-vs-parallel determinism check per cell")
+	scenarioScale := flag.Float64("scenario-scale", 0.002, "builtin-scenario scale (with -scenariosweep)")
+	scenarioTrace := flag.String("scenario-trace", "internal/trace/testdata/msr_sample.csv", "real-trace file for the msr-trace cells (with -scenariosweep)")
 	flag.Parse()
 
 	if *loadgen {
@@ -233,6 +236,12 @@ func main() {
 	}
 	if *fleetsweep {
 		if err := runFleetSweep(*fleetDevices, *fleetScale, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scenariosweep {
+		if err := runScenarioSweep(*scenarioScale, *scenarioTrace, *out); err != nil {
 			fatal(err)
 		}
 		return

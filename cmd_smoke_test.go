@@ -47,6 +47,43 @@ func TestAcrosssimSmoke(t *testing.T) {
 	}
 }
 
+// TestAcrosssimScenarioSmoke drives the scenario engine through the CLI:
+// generate a builtin scenario to a trace-v2 file, then replay the stored
+// container with -scenario-in on another scheme — generation, encode, decode
+// and replay exercised as a user would, with verification on.
+func TestAcrosssimScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	path := filepath.Join(t.TempDir(), "burst.axt2")
+	out := runCmd(t, "./cmd/acrosssim",
+		"-scenario", "burst", "-scale", "0.002", "-scenario-out", path, "-check")
+	for _, want := range []string{"scenario: burst", "cohort:", "tracev2 :", "verify : clean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario run output missing %q:\n%s", want, out)
+		}
+	}
+	replayed := runCmd(t, "./cmd/acrosssim",
+		"-scenario-in", path, "-scheme", "FTL", "-check")
+	if !strings.Contains(replayed, "scenario: burst") || !strings.Contains(replayed, "verify : clean") {
+		t.Errorf("trace-v2 replay output wrong:\n%s", replayed)
+	}
+}
+
+// TestAcrosssimMSRScenarioSmoke wires the MSR Cambridge fixture through the
+// CLI's scenario path (the real-trace cohort input).
+func TestAcrosssimMSRScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := runCmd(t, "./cmd/acrosssim",
+		"-scenario", "trace", "-trace", "internal/trace/testdata/msr_sample.csv",
+		"-scale", "1", "-no-age", "-check")
+	if !strings.Contains(out, "scenario: trace") || !strings.Contains(out, "verify : clean") {
+		t.Errorf("MSR scenario output wrong:\n%s", out)
+	}
+}
+
 // TestTracegenRoundTrip generates a trace with tracegen and replays the file
 // through acrosssim: the CSV writer, format auto-detection, parser, and
 // replay engine all exercised as a user would.

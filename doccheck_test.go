@@ -10,10 +10,10 @@ import (
 )
 
 // docCheckedDirs are the packages whose exported API must carry doc
-// comments: the public facade and the two packages its fleet and replay
-// surfaces are built on. CI runs this test, so an undocumented export is a
-// build break, not a review nit.
-var docCheckedDirs = []string{".", "internal/sim", "internal/fleet"}
+// comments: the public facade and the packages its fleet, replay and
+// scenario surfaces are built on. CI runs this test, so an undocumented
+// export is a build break, not a review nit.
+var docCheckedDirs = []string{".", "internal/sim", "internal/fleet", "internal/scenario"}
 
 // TestExportedAPIDocumented fails for every exported top-level declaration
 // (type, func, method, var, const) in docCheckedDirs that has no doc

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+// Tenant profiles for the mixed-tenant scenario. Each reuses the workload
+// generator's structural model with knobs set to the tenant archetype:
+// VDI is lun1's Table 2 statistics; the log tenant is append-dominated with
+// almost no across-page traffic of its own; the database tenant is
+// update-heavy with the highest across-page ratio (record-shifted pages).
+
+// vdiProfile is the virtual-desktop tenant (lun1's statistics).
+func vdiProfile() workload.Profile {
+	p, _ := workload.LunProfile("lun1")
+	p.Name = "vdi"
+	return p
+}
+
+// logProfile is the log-append tenant: nearly write-only, large sequential
+// appends, tiny hot set (the active segment), negligible across traffic.
+func logProfile() workload.Profile {
+	return workload.Profile{
+		Name:          "log-append",
+		Requests:      500000,
+		WriteRatio:    0.97,
+		AvgWriteKB:    24,
+		AcrossRatio:   0.02,
+		FootprintFrac: 0.9,
+		HotFrac:       0.05,
+		HotProb:       0.9,
+		MeanIOPS:      250,
+		Seed:          201,
+	}
+}
+
+// dbProfile is the database tenant: balanced read/write, small record
+// updates, the highest across-page ratio of the three (record pages shifted
+// off alignment by the image-file translation).
+func dbProfile() workload.Profile {
+	return workload.Profile{
+		Name:          "database",
+		Requests:      650000,
+		WriteRatio:    0.55,
+		AvgWriteKB:    7.5,
+		AcrossRatio:   0.32,
+		FootprintFrac: 0.5,
+		HotFrac:       0.15,
+		HotProb:       0.85,
+		MeanIOPS:      400,
+		Seed:          202,
+	}
+}
+
+// builtins constructs the named scenario catalogue. A function, not a
+// package variable, so callers always get an independent copy they can
+// Scale or reseed without aliasing.
+func builtins() map[string]Scenario {
+	vdi := vdiProfile()
+	return map[string]Scenario{
+		// stationary: the pre-scenario behaviour as a scenario — one VDI
+		// cohort, constant rate, whole device. The control cell of every
+		// scenario matrix.
+		"stationary": {
+			Name: "stationary",
+			Cohorts: []Cohort{
+				{Name: "vdi", Profile: vdi},
+			},
+		},
+		// burst: the same cohort under spike traffic — 10x bursts for 10%
+		// of each 20 s cycle. Does realignment keep up when arrivals
+		// cluster and the queue deepens?
+		"burst": {
+			Name: "burst",
+			Cohorts: []Cohort{
+				{Name: "vdi", Profile: vdi, Pattern: Pattern{
+					Kind: PatternSpike, PeriodMs: 20000, Peak: 10, Base: 0.5, DutyFrac: 0.1,
+				}},
+			},
+		},
+		// daynight: a compressed diurnal cycle (60 s period) swinging the
+		// rate 10x between night and day.
+		"daynight": {
+			Name: "daynight",
+			Cohorts: []Cohort{
+				{Name: "vdi", Profile: vdi, Pattern: Pattern{
+					Kind: PatternDayNight, PeriodMs: 60000, Peak: 3, Base: 0.3,
+				}},
+			},
+		},
+		// mixed: three tenants sharing the device — VDI on the front 55%,
+		// a log-appender on the next 15%, a database on the back 30%, each
+		// with its own temporal shape. The cell that tests whether cohort
+		// interleaving fragments across-page locality.
+		"mixed": {
+			Name: "mixed",
+			Cohorts: []Cohort{
+				{Name: "vdi", Profile: vdi,
+					StartFrac: 0, SizeFrac: 0.55,
+					Pattern: Pattern{Kind: PatternDayNight, PeriodMs: 60000, Peak: 2.5, Base: 0.4}},
+				{Name: "log-append", Profile: logProfile(),
+					StartFrac: 0.55, SizeFrac: 0.15},
+				{Name: "database", Profile: dbProfile(),
+					StartFrac: 0.70, SizeFrac: 0.30,
+					Pattern: Pattern{Kind: PatternSpike, PeriodMs: 15000, Peak: 6, Base: 0.6, DutyFrac: 0.15}},
+			},
+		},
+	}
+}
+
+// Names lists the builtin scenario names in sorted order.
+func Names() []string {
+	m := builtins()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns a named builtin scenario.
+func Builtin(name string) (Scenario, error) {
+	sc, ok := builtins()[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, Names())
+	}
+	return sc, nil
+}
+
+// FromTrace wraps a parsed real trace (e.g. an MSR Cambridge volume read
+// through internal/trace) as a single-cohort scenario covering the whole
+// device. The trace replays at its recorded pacing; offsets wrap into the
+// device's logical space at generation time.
+func FromTrace(name string, reqs []trace.Request) Scenario {
+	return Scenario{
+		Name: name,
+		Cohorts: []Cohort{
+			{Name: name, Trace: reqs, TraceName: name},
+		},
+	}
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// PatternKind names a temporal arrival-rate pattern.
+type PatternKind string
+
+// The supported temporal patterns.
+const (
+	// PatternConstant keeps the cohort at its profile rate — the
+	// stationary-Poisson behaviour every pre-scenario experiment used.
+	PatternConstant PatternKind = "constant"
+	// PatternRamp climbs linearly from Base to Peak over PeriodMs, then
+	// holds Peak (a fleet onboarding ramp, a cache warm-up).
+	PatternRamp PatternKind = "ramp"
+	// PatternSpike alternates a baseline with short bursts: each PeriodMs
+	// cycle spends DutyFrac of its length at Peak and the rest at Base.
+	PatternSpike PatternKind = "spike"
+	// PatternDayNight modulates the rate through a discretised sinusoid
+	// between Base (night) and Peak (day), repeating every PeriodMs —
+	// the diurnal cycle of a real fleet, over as many periods as the
+	// trace lasts.
+	PatternDayNight PatternKind = "daynight"
+)
+
+// Pattern modulates a cohort's arrival rate over simulated time: the
+// instantaneous rate is the profile's MeanIOPS times a time-varying
+// multiplier. The zero value is the constant pattern.
+//
+// Arrivals are drawn from an inhomogeneous Poisson process by time
+// rescaling: unit-rate exponential draws are mapped through the inverse of
+// the pattern's cumulative rate, which for the piecewise-constant compiled
+// form is exact, allocation-free and deterministic.
+type Pattern struct {
+	// Kind selects the pattern shape ("" = constant).
+	Kind PatternKind `json:"kind,omitempty"`
+	// PeriodMs is the cycle length (spike, daynight) or the ramp duration
+	// in simulated ms. Required for every kind but constant.
+	PeriodMs float64 `json:"period_ms,omitempty"`
+	// Peak is the high rate multiplier (ramp end, spike burst, daytime).
+	// Defaults per kind; must be positive.
+	Peak float64 `json:"peak,omitempty"`
+	// Base is the low rate multiplier (ramp start, spike baseline,
+	// night). May be zero — a fully quiet trough — but not negative.
+	Base float64 `json:"base,omitempty"`
+	// DutyFrac is the fraction of a spike period spent at Peak.
+	DutyFrac float64 `json:"duty_frac,omitempty"`
+}
+
+// dayNightSteps discretises the sinusoid: enough steps that the rate is
+// visibly smooth, few enough that segment walks stay cheap.
+const dayNightSteps = 8
+
+// normalised fills per-kind defaults so callers can specify only the shape.
+func (p Pattern) normalised() Pattern {
+	if p.Kind == "" {
+		p.Kind = PatternConstant
+	}
+	switch p.Kind {
+	case PatternRamp:
+		if p.Peak == 0 {
+			p.Peak = 2
+		}
+		if p.Base == 0 {
+			p.Base = 0.2
+		}
+	case PatternSpike:
+		if p.Peak == 0 {
+			p.Peak = 8
+		}
+		if p.Base == 0 {
+			p.Base = 0.75
+		}
+		if p.DutyFrac == 0 {
+			p.DutyFrac = 0.1
+		}
+	case PatternDayNight:
+		if p.Peak == 0 {
+			p.Peak = 2.5
+		}
+		if p.Base == 0 {
+			p.Base = 0.25
+		}
+	}
+	return p
+}
+
+// validate checks a normalised pattern. Zero-duration phases are the classic
+// scenario-spec typo (a spike with PeriodMs 0 would burst infinitely often),
+// so they get the typed ErrZeroDuration.
+func (p Pattern) validate() error {
+	for _, v := range [...]float64{p.PeriodMs, p.Peak, p.Base, p.DutyFrac} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("scenario: pattern %q: non-finite parameter", p.Kind)
+		}
+	}
+	switch p.Kind {
+	case PatternConstant:
+		return nil
+	case PatternRamp, PatternSpike, PatternDayNight:
+	default:
+		return fmt.Errorf("scenario: unknown pattern kind %q", p.Kind)
+	}
+	if p.PeriodMs <= 0 {
+		return fmt.Errorf("%w: pattern %q has period %g ms", ErrZeroDuration, p.Kind, p.PeriodMs)
+	}
+	if p.Peak <= 0 {
+		return fmt.Errorf("scenario: pattern %q: Peak must be positive (got %g)", p.Kind, p.Peak)
+	}
+	if p.Base < 0 {
+		return fmt.Errorf("scenario: pattern %q: Base must be non-negative (got %g)", p.Kind, p.Base)
+	}
+	if p.Kind == PatternSpike {
+		if p.DutyFrac <= 0 || p.DutyFrac >= 1 {
+			return fmt.Errorf("%w: spike duty %g out of (0,1)", ErrZeroDuration, p.DutyFrac)
+		}
+		if p.Base == 0 && p.DutyFrac <= 0 {
+			return fmt.Errorf("scenario: spike pattern never has positive rate")
+		}
+	}
+	return nil
+}
+
+// segment is one piece of the compiled piecewise-constant rate function.
+type segment struct {
+	durMs float64 // math.Inf(1) for a terminal hold
+	mult  float64 // rate multiplier over the segment
+}
+
+// compile lowers a normalised, validated pattern to its segment list.
+// cyclic patterns repeat the list forever; non-cyclic ones end in an
+// infinite terminal segment.
+func (p Pattern) compile() (segs []segment, cyclic bool) {
+	switch p.Kind {
+	case PatternRamp:
+		// rampSteps stair-steps the climb; the terminal segment holds Peak.
+		const rampSteps = 8
+		for i := 0; i < rampSteps; i++ {
+			frac := (float64(i) + 0.5) / rampSteps
+			segs = append(segs, segment{
+				durMs: p.PeriodMs / rampSteps,
+				mult:  p.Base + (p.Peak-p.Base)*frac,
+			})
+		}
+		return append(segs, segment{durMs: math.Inf(1), mult: p.Peak}), false
+	case PatternSpike:
+		return []segment{
+			{durMs: p.PeriodMs * (1 - p.DutyFrac), mult: p.Base},
+			{durMs: p.PeriodMs * p.DutyFrac, mult: p.Peak},
+		}, true
+	case PatternDayNight:
+		mid := (p.Peak + p.Base) / 2
+		amp := (p.Peak - p.Base) / 2
+		for i := 0; i < dayNightSteps; i++ {
+			phase := 2 * math.Pi * (float64(i) + 0.5) / dayNightSteps
+			segs = append(segs, segment{
+				durMs: p.PeriodMs / dayNightSteps,
+				mult:  mid + amp*math.Sin(phase),
+			})
+		}
+		return segs, true
+	default: // constant
+		return []segment{{durMs: math.Inf(1), mult: 1}}, false
+	}
+}
+
+// arrivals converts unit-rate exponential draws into arrival times under a
+// compiled pattern: the classic inhomogeneous-Poisson inversion, walked
+// exactly over the piecewise-constant segments.
+type arrivals struct {
+	segs     []segment
+	cyclic   bool
+	baseRate float64 // requests per ms at multiplier 1
+
+	seg  int     // current segment index
+	into float64 // ms consumed of the current segment
+	now  float64 // absolute simulated ms
+}
+
+// newArrivals positions an arrival walker at t=0 for a pattern and a base
+// rate in requests/ms.
+func (p Pattern) newArrivals(baseRate float64) *arrivals {
+	segs, cyclic := p.compile()
+	return &arrivals{segs: segs, cyclic: cyclic, baseRate: baseRate}
+}
+
+// next consumes one Exp(1) draw and returns the next arrival time. Segments
+// with zero rate pass time without producing arrivals; validation guarantees
+// every cycle contains a positive-rate segment, so the walk terminates.
+func (a *arrivals) next(e float64) float64 {
+	for {
+		s := a.segs[a.seg]
+		rate := a.baseRate * s.mult
+		remain := s.durMs - a.into
+		if math.IsInf(remain, 1) {
+			// Terminal hold: the inversion is a plain exponential.
+			a.now += e / rate
+			return a.now
+		}
+		if capacity := rate * remain; rate > 0 && e <= capacity {
+			dt := e / rate
+			a.now += dt
+			a.into += dt
+			return a.now
+		} else {
+			e -= capacity
+		}
+		a.now += remain
+		a.into = 0
+		a.seg++
+		if a.seg == len(a.segs) {
+			a.seg = 0 // cyclic by construction: non-cyclic lists end in Inf
+		}
+	}
+}

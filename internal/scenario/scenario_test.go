@@ -1,0 +1,356 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"across/internal/trace"
+	"across/internal/workload"
+)
+
+const testSectors = int64(1 << 20) // 512 MB logical space
+
+func tinyProfile(seed int64) workload.Profile {
+	p, err := workload.LunProfile("lun1")
+	if err != nil {
+		panic(err)
+	}
+	p = p.Scale(0.002)
+	p.Seed = seed
+	return p
+}
+
+func TestBuiltinScenariosGenerate(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Builtin(name)
+		if err != nil {
+			t.Fatalf("Builtin(%q): %v", name, err)
+		}
+		sc = sc.Scale(0.002)
+		st, err := sc.Generate(testSectors)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", name, err)
+		}
+		if len(st.Requests) == 0 {
+			t.Fatalf("%s: empty stream", name)
+		}
+		if st.Scenario != name {
+			t.Fatalf("%s: stream labelled %q", name, st.Scenario)
+		}
+		// Arrival-ordered.
+		for i := 1; i < len(st.Requests); i++ {
+			if st.Requests[i].Time < st.Requests[i-1].Time {
+				t.Fatalf("%s: requests out of order at %d", name, i)
+			}
+		}
+		// Every request is valid for the device.
+		for i, r := range st.Requests {
+			if err := r.Validate(testSectors); err != nil {
+				t.Fatalf("%s: request %d invalid: %v", name, i, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Builtin(name)
+		sc = sc.Scale(0.002)
+		a, err := sc.Generate(testSectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sc.Generate(testSectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := EncodeStream(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := EncodeStream(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("%s: double generation not byte-identical", name)
+		}
+	}
+}
+
+func TestCohortsStayInPartitions(t *testing.T) {
+	sc, _ := Builtin("mixed")
+	sc = sc.Scale(0.002)
+	st, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cohorts) != 3 {
+		t.Fatalf("want 3 cohorts, got %d", len(st.Cohorts))
+	}
+	// Rebuild each cohort alone in its partition and verify its requests
+	// fall inside the recorded [StartSector, StartSector+Sectors) span.
+	for ci, info := range st.Cohorts {
+		if info.Requests == 0 {
+			t.Fatalf("cohort %d (%s) contributed no requests", ci, info.Name)
+		}
+		if info.StartSector%workload.RefSPP != 0 || info.Sectors%workload.RefSPP != 0 {
+			t.Fatalf("cohort %s partition not page-aligned: start %d size %d",
+				info.Name, info.StartSector, info.Sectors)
+		}
+	}
+	// The merged stream must respect partitions: re-derive each request's
+	// owner by offset and check containment.
+	for i, r := range st.Requests {
+		owned := false
+		for _, info := range st.Cohorts {
+			if r.Offset >= info.StartSector && r.Offset+int64(r.Count) <= info.StartSector+info.Sectors {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			t.Fatalf("request %d (offset %d count %d) outside every partition", i, r.Offset, r.Count)
+		}
+	}
+}
+
+func TestSpikePatternModulatesRate(t *testing.T) {
+	// A spike cohort must cluster arrivals: the max requests per second
+	// should far exceed the min (excluding empty windows at the tails).
+	sc := Scenario{Name: "spiketest", Cohorts: []Cohort{{
+		Name:    "t",
+		Profile: tinyProfile(7),
+		Pattern: Pattern{Kind: PatternSpike, PeriodMs: 2000, Peak: 20, Base: 0.2, DutyFrac: 0.1},
+	}}}
+	st, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for _, r := range st.Requests {
+		counts[int64(r.Time)/1000]++
+	}
+	max, min := 0, math.MaxInt
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("spike pattern too flat: max %d/s vs min %d/s over %d windows", max, min, len(counts))
+	}
+}
+
+func TestRampPatternAccelerates(t *testing.T) {
+	sc := Scenario{Name: "ramptest", Cohorts: []Cohort{{
+		Name:    "t",
+		Profile: tinyProfile(9),
+		Pattern: Pattern{Kind: PatternRamp, PeriodMs: 3000, Peak: 5, Base: 0.2},
+	}}}
+	st, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := st.Requests
+	// The second half of the request count should occupy far less time
+	// than the first half once the ramp has climbed.
+	mid := reqs[len(reqs)/2].Time
+	last := reqs[len(reqs)-1].Time
+	if last-mid >= mid {
+		t.Fatalf("ramp did not accelerate: first half %0.f ms, second half %0.f ms", mid, last-mid)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	base := tinyProfile(1)
+	cases := []struct {
+		name string
+		sc   Scenario
+		want error
+	}{
+		{"no cohorts", Scenario{Name: "x"}, ErrNoCohorts},
+		{"zero requests", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: workload.Profile{Name: "a"}},
+		}}, ErrZeroRequests},
+		{"zero-duration spike", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, Pattern: Pattern{Kind: PatternSpike, PeriodMs: 0}},
+		}}, ErrZeroDuration},
+		{"zero-duration ramp", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, Pattern: Pattern{Kind: PatternRamp, PeriodMs: -5}},
+		}}, ErrZeroDuration},
+		{"degenerate spike duty", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, Pattern: Pattern{Kind: PatternSpike, PeriodMs: 100, DutyFrac: 1.5}},
+		}}, ErrZeroDuration},
+		{"overlapping partitions", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, StartFrac: 0, SizeFrac: 0.6},
+			{Name: "b", Profile: base, StartFrac: 0.5, SizeFrac: 0.5},
+		}}, ErrPartitionOverlap},
+		{"partition past device end", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, StartFrac: 0.8, SizeFrac: 0.4},
+		}}, ErrPartition},
+		{"partition too small", Scenario{Name: "x", Cohorts: []Cohort{
+			{Name: "a", Profile: base, StartFrac: 0, SizeFrac: 1e-6},
+		}}, ErrPartition},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate(testSectors)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := tc.sc.Generate(testSectors); err == nil {
+			t.Errorf("%s: Generate accepted an invalid scenario", tc.name)
+		}
+	}
+}
+
+func TestSoleCohortDefaultsToWholeDevice(t *testing.T) {
+	sc := Scenario{Name: "x", Cohorts: []Cohort{{Name: "a", Profile: tinyProfile(3)}}}
+	st, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cohorts[0].StartSector != 0 || st.Cohorts[0].Sectors != testSectors {
+		t.Fatalf("sole cohort partition = [%d, +%d), want whole device",
+			st.Cohorts[0].StartSector, st.Cohorts[0].Sectors)
+	}
+}
+
+func TestScaleAndSeedOffset(t *testing.T) {
+	sc, _ := Builtin("mixed")
+	orig := sc.Cohorts[0].Profile.Requests
+	scaled := sc.Scale(0.5)
+	if got := scaled.Cohorts[0].Profile.Requests; got != orig/2 {
+		t.Fatalf("Scale(0.5): %d -> %d", orig, got)
+	}
+	if sc.Cohorts[0].Profile.Requests != orig {
+		t.Fatal("Scale mutated the receiver")
+	}
+	shifted := sc.WithSeedOffset(1000)
+	if shifted.Cohorts[0].Profile.Seed != sc.Cohorts[0].Profile.Seed+1000 {
+		t.Fatal("WithSeedOffset did not shift the seed")
+	}
+	if sc.Cohorts[0].Profile.Seed == shifted.Cohorts[0].Profile.Seed {
+		t.Fatal("WithSeedOffset mutated the receiver")
+	}
+	// Degenerate scale factors clamp rather than corrupt.
+	for _, f := range []float64{math.NaN(), math.Inf(-1), -1, 0} {
+		s := sc.Scale(f)
+		for _, c := range s.Cohorts {
+			if c.Profile.Requests < 1 {
+				t.Fatalf("Scale(%v) produced %d requests", f, c.Profile.Requests)
+			}
+		}
+	}
+}
+
+func TestDurationCutsStream(t *testing.T) {
+	sc := Scenario{Name: "cut", Cohorts: []Cohort{{Name: "a", Profile: tinyProfile(5)}}}
+	full, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutAt := full.Requests[len(full.Requests)/2].Time
+	sc.DurationMs = cutAt
+	cut, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Requests) >= len(full.Requests) {
+		t.Fatal("DurationMs did not truncate the stream")
+	}
+	for _, r := range cut.Requests {
+		if r.Time >= cutAt {
+			t.Fatalf("request at %g ms survived a %g ms cut", r.Time, cutAt)
+		}
+	}
+}
+
+func TestTraceCohortWrapsIntoPartition(t *testing.T) {
+	// Synthetic "recorded" trace with offsets beyond the partition.
+	var reqs []trace.Request
+	for i := 0; i < 500; i++ {
+		reqs = append(reqs, trace.Request{
+			Time:   float64(i),
+			Op:     trace.Op(i % 2),
+			Offset: int64(i) * 1003, // deliberately unaligned spread
+			Count:  (i % 24) + 1,
+		})
+	}
+	sc := Scenario{Name: "wrap", Cohorts: []Cohort{
+		{Name: "rec", Trace: reqs, TraceName: "rec", StartFrac: 0.25, SizeFrac: 0.25},
+		{Name: "syn", Profile: tinyProfile(11), StartFrac: 0.5, SizeFrac: 0.5},
+	}}
+	st, err := sc.Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, size := st.Cohorts[0].StartSector, st.Cohorts[0].Sectors
+	n := 0
+	for _, r := range st.Requests {
+		if r.Offset < start+size && r.Offset+int64(r.Count) > start {
+			// Inside the trace partition: must be fully contained.
+			if r.Offset < start || r.Offset+int64(r.Count) > start+size {
+				t.Fatalf("trace request [%d, +%d) leaks out of partition [%d, +%d)",
+					r.Offset, r.Count, start, size)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no trace-cohort requests found in partition")
+	}
+	// Alignment classes survive the modulo wrap: the partition size is a
+	// RefSPP multiple, so offset mod RefSPP is unchanged by the wrap (for
+	// requests that did not need pulling back from the partition end).
+	if size%workload.RefSPP != 0 {
+		t.Fatalf("partition size %d not a RefSPP multiple", size)
+	}
+}
+
+func TestFromTraceScale(t *testing.T) {
+	var reqs []trace.Request
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, trace.Request{Time: float64(i), Offset: int64(i) * 16, Count: 8})
+	}
+	sc := FromTrace("rec", reqs)
+	half := sc.Scale(0.5)
+	if got := len(half.Cohorts[0].Trace); got != 50 {
+		t.Fatalf("trace Scale(0.5): %d requests, want 50", got)
+	}
+	if len(sc.Cohorts[0].Trace) != 100 {
+		t.Fatal("Scale mutated the source scenario")
+	}
+	for _, f := range []float64{math.NaN(), -2, 0} {
+		if got := len(sc.Scale(f).Cohorts[0].Trace); got != 1 {
+			t.Fatalf("trace Scale(%v): %d requests, want 1", f, got)
+		}
+	}
+	if got := len(sc.Scale(math.Inf(1)).Cohorts[0].Trace); got != 100 {
+		t.Fatalf("trace Scale(+Inf): %d requests, want all 100", got)
+	}
+}
+
+func TestMergeTieBreakDeterministic(t *testing.T) {
+	// Two streams with identical timestamps: ties must break by cohort
+	// order, every time.
+	mk := func(off int64) []trace.Request {
+		var rs []trace.Request
+		for i := 0; i < 10; i++ {
+			rs = append(rs, trace.Request{Time: float64(i), Offset: off, Count: 8})
+		}
+		return rs
+	}
+	a, b := mk(0), mk(1<<10)
+	out := merge([][]trace.Request{a, b}, 20)
+	for i := 0; i < 20; i += 2 {
+		if out[i].Offset != 0 || out[i+1].Offset != 1<<10 {
+			t.Fatalf("tie at %d broke against cohort order", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"across/internal/snapshot"
+)
+
+func sampleStream(t *testing.T) *Stream {
+	t.Helper()
+	sc, err := Builtin("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.Scale(0.001).Generate(testSectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestTraceV2RoundTrip(t *testing.T) {
+	st := sampleStream(t)
+	blob, err := EncodeStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStream(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != st.Scenario || got.LogicalSectors != st.LogicalSectors {
+		t.Fatalf("metadata drift: %+v vs %+v", got, st)
+	}
+	if len(got.Cohorts) != len(st.Cohorts) {
+		t.Fatalf("cohort count drift: %d vs %d", len(got.Cohorts), len(st.Cohorts))
+	}
+	for i := range got.Cohorts {
+		if got.Cohorts[i] != st.Cohorts[i] {
+			t.Fatalf("cohort %d drift: %+v vs %+v", i, got.Cohorts[i], st.Cohorts[i])
+		}
+	}
+	if len(got.Requests) != len(st.Requests) {
+		t.Fatalf("request count drift: %d vs %d", len(got.Requests), len(st.Requests))
+	}
+	for i := range got.Requests {
+		if got.Requests[i] != st.Requests[i] {
+			t.Fatalf("request %d drift: %+v vs %+v", i, got.Requests[i], st.Requests[i])
+		}
+	}
+	// Encode→decode→encode reproduces the container byte for byte.
+	blob2, err := EncodeStream(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encode not byte-identical")
+	}
+}
+
+func TestTraceV2RejectsBadInput(t *testing.T) {
+	st := sampleStream(t)
+	blob, err := EncodeStream(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeStream(blob[:10]); !errors.Is(err, snapshot.ErrTruncated) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := append([]byte("AXSN"), blob[4:]...)
+		if _, err := DecodeStream(bad); !errors.Is(err, snapshot.ErrFormat) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := bytes.Clone(blob)
+		bad[4] = 99
+		if _, err := DecodeStream(bad); !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("flipped body bit", func(t *testing.T) {
+		bad := bytes.Clone(blob)
+		bad[len(bad)-1] ^= 0x40
+		if _, err := DecodeStream(bad); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("not a container at all", func(t *testing.T) {
+		if _, err := DecodeStream([]byte("definitely not a trace container, just text padding")); err == nil {
+			t.Fatal("accepted garbage")
+		}
+	})
+}
+
+func FuzzTraceV2Decode(f *testing.F) {
+	// Seed with a real container, its truncations, and light mutations.
+	sc, err := Builtin("burst")
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := sc.Scale(0.0005).Generate(testSectors)
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := EncodeStream(st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:52])
+	f.Add([]byte("AXT2"))
+	f.Add([]byte{})
+	mut := bytes.Clone(blob)
+	mut[30] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeStream(data)
+		if err != nil {
+			return // rejection is fine; panics and hangs are the bug class
+		}
+		// Accepted containers must round-trip to identical bytes.
+		re, err := EncodeStream(st)
+		if err != nil {
+			t.Fatalf("accepted stream failed to re-encode: %v", err)
+		}
+		back, err := DecodeStream(re)
+		if err != nil {
+			t.Fatalf("re-encoded container rejected: %v", err)
+		}
+		if len(back.Requests) != len(st.Requests) {
+			t.Fatalf("round-trip lost requests: %d vs %d", len(back.Requests), len(st.Requests))
+		}
+	})
+}

@@ -3,14 +3,18 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
 
 	"across/internal/experiments"
 	"across/internal/fleet"
 	"across/internal/ftl"
 	"across/internal/jobs"
 	"across/internal/obs"
+	"across/internal/scenario"
 	"across/internal/sim"
 	"across/internal/ssdconf"
 	"across/internal/store"
@@ -42,6 +46,14 @@ type ReplaySpec struct {
 	// (or a stored checkpoint is found) and every device forks from it.
 	Fleet *FleetSpec `json:"fleet,omitempty"`
 
+	// Scenario replaces the Profile workload with a scenario-engine stream
+	// (temporal patterns, multi-tenant cohorts, or a real trace file).
+	// Scale and Seed apply to the scenario's cohorts; Profile must be left
+	// empty. The resolved scenario joins the content key under its own Kind
+	// string, while AgingKey is unchanged — scenario jobs fork from the
+	// same aging checkpoints as every other job of the scheme/config.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+
 	Priority  int   `json:"priority,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Workers sizes the replay's internal worker pool: 0 lets the
@@ -60,6 +72,67 @@ type FleetSpec struct {
 	Devices int    `json:"devices"`
 	Layout  string `json:"layout,omitempty"`
 	ChunkKB int    `json:"chunk_kb,omitempty"`
+}
+
+// ScenarioSpec is the scenario block of a replay submit-body: a builtin
+// scenario name (stationary | burst | daynight | mixed), or a real-trace
+// file on the daemon host wrapped as a single-cohort scenario. With
+// TracePath set, Name defaults to "trace" and the file's content joins the
+// content key by SHA-256 — two daemons caching the same bytes dedupe, a
+// changed file re-runs.
+type ScenarioSpec struct {
+	Name      string `json:"name,omitempty"`
+	TracePath string `json:"trace_path,omitempty"`
+}
+
+// baseScenario resolves the scenario block into a scenario plus the
+// SHA-256 of the trace file's bytes ("" for builtins).
+func (sp *ReplaySpec) baseScenario() (scenario.Scenario, string, error) {
+	if sp.Scenario.TracePath != "" {
+		data, err := os.ReadFile(sp.Scenario.TracePath)
+		if err != nil {
+			return scenario.Scenario{}, "", err
+		}
+		reqs, err := trace.ReadAllAuto(bytes.NewReader(data))
+		if err != nil {
+			return scenario.Scenario{}, "", err
+		}
+		sum := sha256.Sum256(data)
+		return scenario.FromTrace(sp.Scenario.Name, reqs), hex.EncodeToString(sum[:]), nil
+	}
+	sc, err := scenario.Builtin(sp.Scenario.Name)
+	return sc, "", err
+}
+
+// resolvedScenario applies the spec's Scale and Seed knobs — the exact
+// generator input, which is what the content key must capture.
+func (sp *ReplaySpec) resolvedScenario() (scenario.Scenario, string, error) {
+	sc, traceSHA, err := sp.baseScenario()
+	if err != nil {
+		return scenario.Scenario{}, "", err
+	}
+	return sc.Scale(sp.Scale).WithSeedOffset(sp.Seed), traceSHA, nil
+}
+
+// requests produces the job's request stream: the scenario engine when a
+// scenario block is present, the profile generator otherwise.
+func (sp *ReplaySpec) requests(logicalSectors int64) ([]trace.Request, error) {
+	if sp.Scenario != nil {
+		sc, _, err := sp.resolvedScenario()
+		if err != nil {
+			return nil, err
+		}
+		st, err := sc.Generate(logicalSectors)
+		if err != nil {
+			return nil, err
+		}
+		return st.Requests, nil
+	}
+	prof, err := sp.profile()
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(prof, logicalSectors)
 }
 
 // fleetSpec resolves the JSON block into the fleet package's spec.
@@ -81,6 +154,9 @@ func (sp *ReplaySpec) normalise() {
 	if sp.Scheme == "" {
 		sp.Scheme = string(sim.KindAcross)
 	}
+	if sp.Scenario != nil && sp.Scenario.Name == "" && sp.Scenario.TracePath != "" {
+		sp.Scenario.Name = "trace"
+	}
 	if sp.Fleet != nil {
 		if sp.Fleet.Layout == "" {
 			sp.Fleet.Layout = string(fleet.LayoutRAID0)
@@ -101,7 +177,14 @@ func (sp *ReplaySpec) validate() error {
 	default:
 		return fmt.Errorf("unknown scheme %q", sp.Scheme)
 	}
-	if _, err := workload.LunProfile(sp.Profile); err != nil {
+	if sp.Scenario != nil {
+		if sp.Profile != "" {
+			return fmt.Errorf("profile %q and scenario are mutually exclusive", sp.Profile)
+		}
+		if sp.Scenario.Name == "" {
+			return fmt.Errorf("scenario needs a name or a trace_path")
+		}
+	} else if _, err := workload.LunProfile(sp.Profile); err != nil {
 		return err
 	}
 	if sp.Scale <= 0 || sp.Scale > 1 {
@@ -113,6 +196,19 @@ func (sp *ReplaySpec) validate() error {
 	conf := sp.config()
 	if err := conf.Validate(); err != nil {
 		return err
+	}
+	if sp.Scenario != nil {
+		// Resolve now so unknown builtins, unreadable trace files and bad
+		// partitions fail at submit time, not inside a scheduled job. A
+		// single-device check is conservative for fleet jobs: the volume's
+		// logical space is never smaller than one device's.
+		sc, _, err := sp.resolvedScenario()
+		if err != nil {
+			return err
+		}
+		if err := sc.Validate(conf.LogicalSectors()); err != nil {
+			return err
+		}
 	}
 	if sp.Fleet != nil {
 		if _, err := fleet.ParseLayout(sp.Fleet.Layout); err != nil {
@@ -152,8 +248,34 @@ func (sp *ReplaySpec) profile() (workload.Profile, error) {
 // only changes scheduling (priority, timeout) is not. Fleet jobs hash an
 // extended structure under a distinct Kind string; the non-fleet structure
 // is untouched so results cached before the fleet layer existed keep their
-// addresses.
+// addresses. Scenario jobs hash the fully-resolved scenario (cohorts,
+// partitions, patterns, seeds — trace cohorts represented by the SHA-256 of
+// the trace file's bytes, not its path) under scenario-specific Kinds, so
+// equivalent spellings dedupe and a changed trace file re-runs.
 func (sp *ReplaySpec) Key() (string, error) {
+	if sp.Scenario != nil {
+		sc, traceSHA, err := sp.resolvedScenario()
+		if err != nil {
+			return "", err
+		}
+		kind := "scenario-replay/" + sp.Scheme
+		var fspec *fleet.Spec
+		if sp.Fleet != nil {
+			kind = "scenario-fleet-replay/" + sp.Scheme
+			f := sp.fleetSpec()
+			fspec = &f
+		}
+		return store.HashJSON(struct {
+			V        int
+			Kind     string
+			Conf     ssdconf.Config
+			Scenario scenario.Scenario
+			TraceSHA string `json:",omitempty"`
+			QD       int
+			Age      bool
+			Fleet    *fleet.Spec `json:",omitempty"`
+		}{keyVersion, kind, sp.config(), sc, traceSHA, sp.QD, sp.Age, fspec})
+	}
 	prof, err := sp.profile()
 	if err != nil {
 		return "", err
@@ -428,11 +550,7 @@ func (s *Server) runReplay(ctx context.Context, key string, sp ReplaySpec, hub *
 	}
 	spl.next("generate")
 	conf := sp.config()
-	prof, err := sp.profile()
-	if err != nil {
-		return nil, err
-	}
-	reqs, err := workload.Generate(prof, conf.LogicalSectors())
+	reqs, err := sp.requests(conf.LogicalSectors())
 	if err != nil {
 		return nil, err
 	}
@@ -526,11 +644,7 @@ func (s *Server) runFleetReplay(ctx context.Context, key string, sp ReplaySpec, 
 	if err != nil {
 		return nil, err
 	}
-	prof, err := sp.profile()
-	if err != nil {
-		return nil, err
-	}
-	reqs, err := workload.Generate(prof, v.LogicalSectors())
+	reqs, err := sp.requests(v.LogicalSectors())
 	if err != nil {
 		return nil, err
 	}

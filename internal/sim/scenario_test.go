@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"across/internal/scenario"
+	"across/internal/trace"
+)
+
+// scenarioSectors is smallConf's logical capacity (LogicalSectors needs an
+// addressable Config).
+func scenarioSectors() int64 {
+	c := smallConf()
+	return c.LogicalSectors()
+}
+
+// scenarioStream generates a builtin scenario sized for smallConf's device.
+func scenarioStream(t *testing.T, name string, scale float64) []trace.Request {
+	t.Helper()
+	sc, err := scenario.Builtin(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sc.Scale(scale).Generate(scenarioSectors())
+	if err != nil {
+		t.Fatalf("%s: Generate: %v", name, err)
+	}
+	if len(st.Requests) == 0 {
+		t.Fatalf("%s: empty stream", name)
+	}
+	return st.Requests
+}
+
+// TestScenarioReplayDeterminismMatrix is the scenario acceptance gate: for
+// every builtin scenario (plus the MSR trace wrapped as a scenario), replay
+// through the serial engine and the parallel engine at several worker
+// counts must produce byte-identical Results — and the whole pipeline
+// (generation included) must be reproducible across runs, proven by
+// comparing the JSON of two independent generate+replay passes.
+func TestScenarioReplayDeterminismMatrix(t *testing.T) {
+	type cell struct {
+		name string
+		reqs []trace.Request
+	}
+	cells := []cell{
+		{"stationary", scenarioStream(t, "stationary", 0.002)},
+		{"burst", scenarioStream(t, "burst", 0.002)},
+		{"daynight", scenarioStream(t, "daynight", 0.002)},
+		{"mixed", scenarioStream(t, "mixed", 0.002)},
+	}
+	{
+		msr := scenario.FromTrace("msr", loadMSRFixture(t))
+		st, err := msr.Generate(scenarioSectors())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell{"msr-trace", st.Requests})
+	}
+	workerCounts := []int{2, 5}
+	if testing.Short() {
+		cells = cells[:2]
+		workerCounts = []int{3}
+	}
+	for _, c := range cells {
+		for _, kind := range []SchemeKind{KindAcross, KindFTL} {
+			serial := replaySerial(t, kind, c.reqs, 0, false)
+			for _, w := range workerCounts {
+				par := replayParallel(t, kind, c.reqs, 0, w, false, ParallelOptions{})
+				assertIdentical(t, serial, par, c.name+"/"+string(kind))
+			}
+		}
+	}
+}
+
+// TestScenarioPipelineReproducible re-runs generation and replay from
+// scratch and compares the Results: the full scenario pipeline is a
+// deterministic function of (scenario, device), across runs and engines.
+func TestScenarioPipelineReproducible(t *testing.T) {
+	run := func(workers int) *Result {
+		reqs := scenarioStream(t, "mixed", 0.002)
+		if workers > 1 {
+			return replayParallel(t, KindAcross, reqs, 4, workers, false, ParallelOptions{})
+		}
+		return replaySerial(t, KindAcross, reqs, 4, false)
+	}
+	first := run(1)
+	assertIdentical(t, first, run(1), "serial re-run")
+	assertIdentical(t, first, run(4), "parallel vs serial")
+}

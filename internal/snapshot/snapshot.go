@@ -165,10 +165,21 @@ func (e *Encoder) F64s(v []float64) {
 	}
 }
 
-// Finish seals the body into a self-describing container: header with
-// version, flags, uncompressed length and SHA-256 of the uncompressed body,
-// followed by the DEFLATE-compressed body.
+// Finish seals the body into a self-describing snapshot (AXSN) container:
+// header with version, flags, uncompressed length and SHA-256 of the
+// uncompressed body, followed by the DEFLATE-compressed body.
 func (e *Encoder) Finish() ([]byte, error) {
+	return Seal(magic, Version, e)
+}
+
+// Seal seals an encoder's body into a container carrying an arbitrary
+// 4-byte magic and format version — the same layout, determinism and
+// hardening as snapshot containers, reusable by other versioned binary
+// artifacts (the trace-v2 workload container is one). Open is its inverse.
+func Seal(containerMagic string, version uint32, e *Encoder) ([]byte, error) {
+	if len(containerMagic) != 4 {
+		return nil, fmt.Errorf("%w: magic %q must be 4 bytes", ErrFormat, containerMagic)
+	}
 	raw := e.body.Bytes()
 	if len(raw) > maxBody {
 		return nil, fmt.Errorf("%w: body %d bytes exceeds %d", ErrFormat, len(raw), maxBody)
@@ -188,8 +199,8 @@ func (e *Encoder) Finish() ([]byte, error) {
 	}
 
 	out := make([]byte, 0, headerSize+comp.Len())
-	out = append(out, magic...)
-	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = append(out, containerMagic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
 	out = binary.LittleEndian.AppendUint32(out, flagCompressed)
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(raw)))
 	out = append(out, sum[:]...)
@@ -207,20 +218,27 @@ type Decoder struct {
 	err  error
 }
 
-// NewDecoder validates the container (magic, version, flags, length,
-// checksum), decompresses the body, and returns a decoder positioned at the
-// first byte. Hostile inputs yield a typed error, never a panic, and
+// NewDecoder validates a snapshot (AXSN) container (magic, version, flags,
+// length, checksum), decompresses the body, and returns a decoder positioned
+// at the first byte. Hostile inputs yield a typed error, never a panic, and
 // decompression work is bounded by the declared (capped) body length.
 func NewDecoder(blob []byte) (*Decoder, error) {
+	return Open(magic, Version, blob)
+}
+
+// Open is the inverse of Seal: it validates a container carrying the given
+// magic and version and returns a decoder over its body, with the same
+// hostile-input hardening as snapshot decoding.
+func Open(containerMagic string, wantVersion uint32, blob []byte) (*Decoder, error) {
 	if len(blob) < headerSize {
 		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrTruncated, len(blob), headerSize)
 	}
-	if string(blob[:4]) != magic {
+	if string(blob[:4]) != containerMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, blob[:4])
 	}
 	version := binary.LittleEndian.Uint32(blob[4:8])
-	if version != Version {
-		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, version, Version)
+	if version != wantVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrVersion, version, wantVersion)
 	}
 	flags := binary.LittleEndian.Uint32(blob[8:12])
 	if flags&^uint32(knownFlags) != 0 {

@@ -128,6 +128,31 @@ func (r *Reader) parse(line string) (Request, error) {
 	}, nil
 }
 
+// ReadAllAuto slurps an entire trace, sniffing the format (SYSTOR '17 or
+// MSR Cambridge) from the first non-empty, non-comment line.
+func ReadAllAuto(r io.Reader) ([]Request, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	first := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && line[0] != '#' {
+			first = line
+			break
+		}
+	}
+	format, err := DetectFormat(first)
+	if err != nil {
+		return nil, err
+	}
+	if format == "msr" {
+		return ReadAllMSR(strings.NewReader(string(data)))
+	}
+	return ReadAll(strings.NewReader(string(data)))
+}
+
 // ReadAll slurps an entire trace.
 func ReadAll(r io.Reader) ([]Request, error) {
 	tr := NewReader(r)

@@ -86,11 +86,23 @@ func (p Profile) Validate() error {
 }
 
 // Scale returns a copy with the request count multiplied by f (minimum 1
-// request); the experiment harness uses it for quick runs.
+// request); the experiment harness uses it for quick runs. Degenerate
+// factors are clamped rather than propagated: NaN, infinities, zero and
+// negative factors all yield 1 request, and products beyond the int range
+// saturate at math.MaxInt instead of converting to an implementation-defined
+// value. (The int(float64) conversion is undefined for out-of-range values
+// in Go, so scenario specs with wild factors used to produce garbage counts;
+// Validate would then pass them because a huge positive count is "valid".)
 func (p Profile) Scale(f float64) Profile {
-	n := int(float64(p.Requests) * f)
-	if n < 1 {
+	scaled := float64(p.Requests) * f
+	var n int
+	switch {
+	case math.IsNaN(scaled) || scaled < 1:
 		n = 1
+	case scaled >= math.MaxInt:
+		n = math.MaxInt
+	default:
+		n = int(scaled)
 	}
 	p.Requests = n
 	return p

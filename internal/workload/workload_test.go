@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 
 	"across/internal/ssdconf"
@@ -175,6 +176,25 @@ func TestScaleClampsToOneRequest(t *testing.T) {
 	p := LunProfiles()[0].Scale(0)
 	if p.Requests != 1 {
 		t.Fatalf("Scale(0).Requests = %d, want 1", p.Requests)
+	}
+}
+
+func TestScaleDegenerateFactors(t *testing.T) {
+	base := LunProfiles()[0]
+	for _, f := range []float64{0, -1, math.NaN(), math.Inf(-1), 1e-12} {
+		if got := base.Scale(f).Requests; got != 1 {
+			t.Errorf("Scale(%v).Requests = %d, want 1", f, got)
+		}
+	}
+	// Overflow-sized factors must saturate, not wrap through the
+	// implementation-defined int(float64) conversion.
+	for _, f := range []float64{math.Inf(1), 1e300} {
+		if got := base.Scale(f).Requests; got != math.MaxInt {
+			t.Errorf("Scale(%v).Requests = %d, want MaxInt", f, got)
+		}
+	}
+	if base.Scale(2).Requests != 2*base.Requests {
+		t.Errorf("Scale(2).Requests = %d, want %d", base.Scale(2).Requests, 2*base.Requests)
 	}
 }
 
