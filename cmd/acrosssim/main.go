@@ -25,7 +25,7 @@ func main() {
 		schemeName = flag.String("scheme", "Across-FTL", "FTL | MRSM | Across-FTL")
 		traceFile  = flag.String("trace", "", "SYSTOR-format CSV trace file")
 		profile    = flag.String("profile", "", "built-in workload profile (lun1..lun6)")
-		scale      = flag.Float64("scale", 0.05, "fraction of the profile's request count (with -profile)")
+		scale      = flag.Float64("scale", 0.05, "fraction of the generated request count (with -profile or a builtin -scenario; -scenario trace replays the full trace unless -scale is given explicitly)")
 		pageBytes  = flag.Int("page", 8192, "flash page size in bytes (4096, 8192, 16384)")
 		full       = flag.Bool("full", false, "full 128 GiB Table 1 geometry")
 		noAge      = flag.Bool("no-age", false, "skip device aging")
@@ -81,9 +81,15 @@ func main() {
 	}
 	cfg = cfg.WithPageBytes(*pageBytes)
 
+	scaleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scale" {
+			scaleSet = true
+		}
+	})
 	scOpts := scenarioOpts{
 		name: *scenarioName, inFile: *scenarioIn, outFile: *scenarioOut,
-		trace: *traceFile, scale: *scale,
+		trace: *traceFile, scale: *scale, scaleSet: scaleSet,
 	}
 
 	if *fleetN > 0 {

@@ -9,11 +9,12 @@ import (
 
 // scenarioOpts carries the parsed scenario flags from main to the loader.
 type scenarioOpts struct {
-	name    string  // builtin scenario name, or "trace" to wrap -trace
-	inFile  string  // trace-v2 container to replay instead of generating
-	outFile string  // write the generated stream as a trace-v2 container
-	trace   string  // real-trace CSV for name == "trace"
-	scale   float64 // request-count scale applied before generation
+	name     string  // builtin scenario name, or "trace" to wrap -trace
+	inFile   string  // trace-v2 container to replay instead of generating
+	outFile  string  // write the generated stream as a trace-v2 container
+	trace    string  // real-trace CSV for name == "trace"
+	scale    float64 // request-count scale applied before generation
+	scaleSet bool    // -scale was given explicitly (not the 0.05 default)
 }
 
 func (o scenarioOpts) active() bool { return o.name != "" || o.inFile != "" }
@@ -54,15 +55,28 @@ func loadScenarioStream(o scenarioOpts, logicalSectors int64) []across.Request {
 				fatal(err)
 			}
 			sc = across.ScenarioFromTrace("trace", reqs)
+			// A wrapped real trace replays in full by default, matching plain
+			// -trace: the 0.05 -scale default is a synthetic-workload
+			// quick-run knob, and silently truncating a recorded workload
+			// would change the experiment. An explicit -scale still
+			// truncates — loudly.
+			if o.scaleSet {
+				sc = sc.Scale(o.scale)
+				if kept := len(sc.Cohorts[0].Trace); kept < len(reqs) {
+					fmt.Printf("scale  : -scale %g keeps the trace's first %d of %d requests\n",
+						o.scale, kept, len(reqs))
+				}
+			}
 		} else {
 			var err error
 			sc, err = across.BuiltinScenario(o.name)
 			if err != nil {
 				fatal(err)
 			}
+			sc = sc.Scale(o.scale)
 		}
 		var err error
-		stream, err = sc.Scale(o.scale).Generate(logicalSectors)
+		stream, err = sc.Generate(logicalSectors)
 		if err != nil {
 			fatal(err)
 		}

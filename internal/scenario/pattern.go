@@ -44,7 +44,10 @@ type Pattern struct {
 	// Defaults per kind; must be positive.
 	Peak float64 `json:"peak,omitempty"`
 	// Base is the low rate multiplier (ramp start, spike baseline,
-	// night). May be zero — a fully quiet trough — but not negative.
+	// night). Zero means "unset" and takes the per-kind default — the
+	// omitempty JSON encoding could not round-trip an explicit zero
+	// anyway — so a fully quiet trough is not expressible; use a small
+	// positive value for a near-silent baseline. Must not be negative.
 	Base float64 `json:"base,omitempty"`
 	// DutyFrac is the fraction of a spike period spent at Peak.
 	DutyFrac float64 `json:"duty_frac,omitempty"`
@@ -116,9 +119,6 @@ func (p Pattern) validate() error {
 	if p.Kind == PatternSpike {
 		if p.DutyFrac <= 0 || p.DutyFrac >= 1 {
 			return fmt.Errorf("%w: spike duty %g out of (0,1)", ErrZeroDuration, p.DutyFrac)
-		}
-		if p.Base == 0 && p.DutyFrac <= 0 {
-			return fmt.Errorf("scenario: spike pattern never has positive rate")
 		}
 	}
 	return nil

@@ -59,8 +59,8 @@ const arrivalSeedSalt = 0x5ca1ab1e
 // trace (Trace non-empty — e.g. an MSR Cambridge volume read through
 // internal/trace). A trace cohort keeps its recorded inter-arrival times and
 // ignores Pattern; its offsets are wrapped into the partition modulo the
-// page-aligned partition size, which preserves every request's alignment
-// class.
+// page-aligned partition size, preserving each request's alignment class
+// except for requests that nearly fill the partition (see retimeTrace).
 type Cohort struct {
 	// Name labels the cohort in metadata and reports.
 	Name string `json:"name"`
@@ -307,11 +307,15 @@ func generateCohort(c *Cohort, start, size int64) ([]trace.Request, error) {
 }
 
 // retimeTrace maps a recorded trace into the cohort's partition: offsets
-// wrap modulo the page-aligned partition size (alignment classes are
-// preserved because the modulus is a page multiple), requests that would
-// spill past the partition end are pulled back, and recorded arrival times
-// shift by StartMs. Recorded traces are replayed at their native pacing, so
-// the cohort's Pattern is not applied.
+// wrap modulo the page-aligned partition size, requests that would spill
+// past the partition end are pulled back, and recorded arrival times shift
+// by StartMs. The modulus and the pull-back are both RefSPP multiples, so
+// each request keeps its offset modulo the reference page — and with it its
+// alignment class — except when the request nearly fills the partition
+// (Count within one page of the partition size, including counts clamped
+// down to it), where no aligned slot fits and the request lands flush
+// against the partition end instead. Recorded traces are replayed at their
+// native pacing, so the cohort's Pattern is not applied.
 func retimeTrace(c *Cohort, start, size int64) []trace.Request {
 	out := make([]trace.Request, 0, len(c.Trace))
 	for _, r := range c.Trace {
@@ -320,7 +324,16 @@ func retimeTrace(c *Cohort, start, size int64) []trace.Request {
 		}
 		off := r.Offset % size
 		if off+int64(r.Count) > size {
-			off = size - int64(r.Count)
+			// Pull back by whole reference pages so off mod RefSPP survives.
+			excess := off + int64(r.Count) - size
+			shift := (excess + workload.RefSPP - 1) / workload.RefSPP * workload.RefSPP
+			if shift > off {
+				// The request nearly fills the partition: no slot at the
+				// original alignment exists, take the exact fit at the end.
+				off = size - int64(r.Count)
+			} else {
+				off -= shift
+			}
 		}
 		r.Offset = start + off
 		r.Time += c.StartMs

@@ -291,7 +291,7 @@ func TestTraceCohortWrapsIntoPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	start, size := st.Cohorts[0].StartSector, st.Cohorts[0].Sectors
-	n := 0
+	var got []trace.Request
 	for _, r := range st.Requests {
 		if r.Offset < start+size && r.Offset+int64(r.Count) > start {
 			// Inside the trace partition: must be fully contained.
@@ -299,17 +299,57 @@ func TestTraceCohortWrapsIntoPartition(t *testing.T) {
 				t.Fatalf("trace request [%d, +%d) leaks out of partition [%d, +%d)",
 					r.Offset, r.Count, start, size)
 			}
-			n++
+			got = append(got, r)
 		}
 	}
-	if n == 0 {
-		t.Fatal("no trace-cohort requests found in partition")
+	if len(got) != len(reqs) {
+		t.Fatalf("trace partition holds %d requests, want %d", len(got), len(reqs))
 	}
-	// Alignment classes survive the modulo wrap: the partition size is a
-	// RefSPP multiple, so offset mod RefSPP is unchanged by the wrap (for
-	// requests that did not need pulling back from the partition end).
 	if size%workload.RefSPP != 0 {
 		t.Fatalf("partition size %d not a RefSPP multiple", size)
+	}
+	// Alignment classes survive the retiming: both the modulo wrap and the
+	// spill pull-back move offsets by RefSPP multiples (no request here is
+	// big enough to hit the nearly-fills-the-partition fallback), so each
+	// request keeps its offset modulo the reference page. Trace arrival
+	// times are strictly increasing, so `got` matches `reqs` by index.
+	for i, r := range got {
+		if r.Offset%workload.RefSPP != reqs[i].Offset%workload.RefSPP {
+			t.Fatalf("request %d: retimed offset %d lost the alignment of recorded offset %d",
+				i, r.Offset, reqs[i].Offset)
+		}
+	}
+}
+
+// TestRetimeTracePullbackPreservesAlignment drives the spill pull-back
+// directly: requests wrapped near the partition end must stay contained and
+// keep offset mod RefSPP, except when they nearly fill the partition, where
+// the documented fallback lands them flush against its end.
+func TestRetimeTracePullbackPreservesAlignment(t *testing.T) {
+	const size = 64 * workload.RefSPP
+	c := &Cohort{Name: "rec", TraceName: "rec", Trace: []trace.Request{
+		// Spills a few sectors past the end: pulled back one page.
+		{Time: 0, Offset: size - 3, Count: 10},
+		// Unaligned offset spilling by more than a page.
+		{Time: 1, Offset: size - workload.RefSPP - 5, Count: 3 * workload.RefSPP},
+		// Nearly fills the partition: no aligned slot exists.
+		{Time: 2, Offset: 7, Count: size - 4},
+	}}
+	out := retimeTrace(c, 0, size)
+	for i, r := range out {
+		if r.Offset < 0 || r.Offset+int64(r.Count) > size {
+			t.Errorf("request %d: [%d, +%d) leaks out of [0, %d)", i, r.Offset, r.Count, size)
+		}
+	}
+	for i, r := range out[:2] {
+		if r.Offset%workload.RefSPP != c.Trace[i].Offset%workload.RefSPP {
+			t.Errorf("request %d: offset %d lost the alignment of recorded offset %d",
+				i, r.Offset, c.Trace[i].Offset)
+		}
+	}
+	if last := out[2]; last.Offset != size-int64(last.Count) {
+		t.Errorf("nearly-full request placed at %d, want the exact end fit %d",
+			last.Offset, size-int64(last.Count))
 	}
 }
 

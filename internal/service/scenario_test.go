@@ -91,8 +91,8 @@ func TestScenarioTraceKeyTracksFileContent(t *testing.T) {
 	if err := os.WriteFile(b, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	key := func(path string) string {
-		sp := ReplaySpec{Type: "replay", Scheme: "FTL", Scale: 1,
+	keyAt := func(path string, scale float64) string {
+		sp := ReplaySpec{Type: "replay", Scheme: "FTL", Scale: scale,
 			Scenario: &ScenarioSpec{TracePath: path}}
 		sp.normalise()
 		if err := sp.validate(); err != nil {
@@ -104,8 +104,15 @@ func TestScenarioTraceKeyTracksFileContent(t *testing.T) {
 		}
 		return k
 	}
+	key := func(path string) string { return keyAt(path, 1) }
 	if key(a) != key(b) {
 		t.Error("identical trace bytes under different paths fragmented the key")
+	}
+	// Scale truncates a trace cohort at generation time, and the requests
+	// themselves are excluded from the scenario's JSON — the resolved
+	// counts must keep scaled variants of the same file apart.
+	if keyAt(a, 0.5) == keyAt(a, 1) {
+		t.Error("trace specs differing only in scale collided on one key")
 	}
 	// Append one more request: the key must change.
 	line := "128166372003061629,src1,0,Write,1303441408,8192,1322\n"

@@ -26,6 +26,14 @@ import (
 // semantics change enough that cached results should stop being served.
 const keyVersion = 1
 
+// scenarioKeyVersion versions the scenario branch of Key on its own, so the
+// scenario layer can evolve without orphaning every non-scenario cache
+// entry. v2 added TraceReqs: Cohort.Trace is excluded from the scenario's
+// JSON and TraceSHA hashes the original file bytes, so without the resolved
+// per-cohort counts, trace specs differing only in Scale collided on one
+// key and served each other's truncated results.
+const scenarioKeyVersion = 2
+
 // ReplaySpec is the submit-body of a replay job: one trace replayed against
 // one scheme on one device. Priority and TimeoutMs steer scheduling only
 // and are excluded from the content key.
@@ -79,7 +87,9 @@ type FleetSpec struct {
 // file on the daemon host wrapped as a single-cohort scenario. With
 // TracePath set, Name defaults to "trace" and the file's content joins the
 // content key by SHA-256 — two daemons caching the same bytes dedupe, a
-// changed file re-runs.
+// changed file re-runs. Note the spec's Scale (default 0.05) truncates a
+// trace cohort to its first fraction of requests; submit "scale": 1 to
+// replay the whole file.
 type ScenarioSpec struct {
 	Name      string `json:"name,omitempty"`
 	TracePath string `json:"trace_path,omitempty"`
@@ -250,13 +260,23 @@ func (sp *ReplaySpec) profile() (workload.Profile, error) {
 // is untouched so results cached before the fleet layer existed keep their
 // addresses. Scenario jobs hash the fully-resolved scenario (cohorts,
 // partitions, patterns, seeds — trace cohorts represented by the SHA-256 of
-// the trace file's bytes, not its path) under scenario-specific Kinds, so
-// equivalent spellings dedupe and a changed trace file re-runs.
+// the trace file's bytes plus their resolved post-Scale request counts)
+// under scenario-specific Kinds, so equivalent spellings dedupe and a
+// changed trace file or a different scale re-runs.
 func (sp *ReplaySpec) Key() (string, error) {
 	if sp.Scenario != nil {
 		sc, traceSHA, err := sp.resolvedScenario()
 		if err != nil {
 			return "", err
+		}
+		// Trace cohorts serialise without their requests (TraceSHA stands in
+		// for the bytes), but Scale truncates them at generation time — the
+		// resolved counts are the only scale-dependent input left to hash.
+		var traceReqs []int
+		for i := range sc.Cohorts {
+			if n := len(sc.Cohorts[i].Trace); n > 0 {
+				traceReqs = append(traceReqs, n)
+			}
 		}
 		kind := "scenario-replay/" + sp.Scheme
 		var fspec *fleet.Spec
@@ -266,15 +286,17 @@ func (sp *ReplaySpec) Key() (string, error) {
 			fspec = &f
 		}
 		return store.HashJSON(struct {
-			V        int
-			Kind     string
-			Conf     ssdconf.Config
-			Scenario scenario.Scenario
-			TraceSHA string `json:",omitempty"`
-			QD       int
-			Age      bool
-			Fleet    *fleet.Spec `json:",omitempty"`
-		}{keyVersion, kind, sp.config(), sc, traceSHA, sp.QD, sp.Age, fspec})
+			V         int
+			SV        int
+			Kind      string
+			Conf      ssdconf.Config
+			Scenario  scenario.Scenario
+			TraceSHA  string `json:",omitempty"`
+			TraceReqs []int  `json:",omitempty"`
+			QD        int
+			Age       bool
+			Fleet     *fleet.Spec `json:",omitempty"`
+		}{keyVersion, scenarioKeyVersion, kind, sp.config(), sc, traceSHA, traceReqs, sp.QD, sp.Age, fspec})
 	}
 	prof, err := sp.profile()
 	if err != nil {
